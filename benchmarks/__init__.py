@@ -1,0 +1,1 @@
+"""Experiment harness: one bench module per paper table/figure (pytest-benchmark)."""

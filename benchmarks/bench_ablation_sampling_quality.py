@@ -1,0 +1,75 @@
+"""Ablation (§3.2.2, continued) — sampling's quality/cost trade-off.
+
+The paper motivates sampling with load balance and OOM safety, and notes
+"the skewed data may also lead to a poor accuracy of the trained GNN
+model".  This bench sweeps ``max_neighbors`` on the hub-heavy uug-like
+graph and reports, per cap: GraphFlat cost, dataset size, and the trained
+model's validation AUC — showing that a modest cap loses little accuracy
+while bounding every systems cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.trainer import GraphTrainer, TrainerConfig, decode_samples
+from repro.nn.gnn import GCNModel
+
+from .conftest import emit
+
+CAPS = [2, 5, 10, None]
+RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("cap", CAPS, ids=lambda c: f"cap{c}" if c else "unbounded")
+def bench_sampling_quality(benchmark, bench_uug, cap):
+    ds = bench_uug
+    config = GraphFlatConfig(
+        hops=2,
+        sampling="weighted",
+        max_neighbors=cap if cap is not None else 10**9,
+        hub_threshold=200,
+        seed=0,
+    )
+
+    def flatten_and_train():
+        train = graph_flat(ds.nodes, ds.edges, ds.train_ids[:600], config)
+        val = graph_flat(ds.nodes, ds.edges, ds.val_ids, config)
+        model = GCNModel(ds.feature_dim, 16, 2, num_layers=2, seed=0)
+        trainer = GraphTrainer(
+            model, TrainerConfig(batch_size=32, epochs=6, lr=0.01, task="binary", seed=0)
+        )
+        trainer.fit(train.samples)
+        return {
+            "auc": trainer.evaluate(val.samples),
+            "bytes": sum(len(r) for r in train.samples),
+            "max_nodes": int(train.neighborhood_nodes.max()),
+        }
+
+    out = benchmark.pedantic(flatten_and_train, rounds=1, iterations=1)
+    out["seconds"] = benchmark.stats["mean"]
+    RESULTS["unbounded" if cap is None else str(cap)] = out
+
+
+def bench_sampling_quality_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "Sampling quality/cost trade-off (weighted sampling, GCN-2L, uug-like):",
+        f"{'max_neighbors':>14}{'val AUC':>9}{'flat+train s':>14}{'data MiB':>10}{'max nodes':>11}",
+        "-" * 58,
+    ]
+    for cap in ["2", "5", "10", "unbounded"]:
+        if cap in RESULTS:
+            r = RESULTS[cap]
+            lines.append(
+                f"{cap:>14}{r['auc']:>9.3f}{r['seconds']:>14.1f}"
+                f"{r['bytes'] / 2**20:>10.1f}{r['max_nodes']:>11}"
+            )
+    lines += [
+        "",
+        "claim: a moderate cap keeps accuracy within noise of unbounded",
+        "neighborhoods while bounding GraphFlat cost, record size and the",
+        "largest neighborhood (OOM safety on hub graphs).",
+    ]
+    emit("ablation_sampling_quality", "\n".join(lines))

@@ -1,0 +1,74 @@
+"""Figure 8 — training speedup vs number of workers.
+
+Two parts (see DESIGN.md substitution #2 / #6):
+
+1. **Measured**: per-batch model-computation time and parameter payload are
+   measured on this machine with the real trainer; real 2-worker thread
+   speedup is reported for calibration (this box has 2 cores).
+2. **Simulated**: the measured costs drive the discrete-event cluster model
+   (FCFS parameter-server shards, worker jitter) for 1..100 workers — the
+   regime the paper measures on a physical cluster.
+
+Shape to reproduce: near-linear speedup with slope ~0.8 (paper: 78x at 100
+workers), slope degrading gracefully as PS shards saturate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.nn.gnn import GATModel
+from repro.ps import ClusterModel, simulate_speedup
+
+from .conftest import emit
+
+WORKER_COUNTS = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def bench_fig8(benchmark, bench_uug, uug_flat):
+    ds = bench_uug
+    samples = uug_flat["train"]
+    model = GATModel(ds.feature_dim, 8, 2, num_layers=2, num_heads=2, seed=0)
+    trainer = GraphTrainer(
+        model, TrainerConfig(batch_size=32, epochs=1, lr=0.01, task="binary", seed=0)
+    )
+
+    def one_epoch():
+        trainer.train_epoch(samples)
+
+    benchmark.pedantic(one_epoch, rounds=2, warmup_rounds=1, iterations=1)
+
+    num_batches = int(np.ceil(len(samples) / 32))
+    compute_per_batch = trainer.timers["compute"].mean
+    payload_mb = 2 * model.num_parameters() * 4 / 2**20  # pull + push
+
+    cluster = ClusterModel(
+        batch_compute_seconds=compute_per_batch,
+        batch_payload_mb=payload_mb,
+        num_servers=10,
+    )
+    # an epoch at paper-relevant batch volume (every worker stays busy even
+    # at 100 workers)
+    epoch_batches = max(num_batches, 40) * 25
+    speedups = simulate_speedup(cluster, epoch_batches, WORKER_COUNTS, seed=0)
+
+    slope = np.polyfit(WORKER_COUNTS, [speedups[w] for w in WORKER_COUNTS], 1)[0]
+    lines = [
+        "Calibration (measured on this machine):",
+        f"  per-batch model computation: {compute_per_batch * 1e3:.1f} ms",
+        f"  pull+push payload:           {payload_mb:.3f} MiB "
+        f"({model.num_parameters()} parameters)",
+        f"  simulated epoch size:        {epoch_batches} batches, 10 PS shards",
+        "",
+        f"{'workers':>8}{'speedup':>10}{'efficiency':>12}",
+        "-" * 30,
+    ]
+    for w in WORKER_COUNTS:
+        lines.append(f"{w:>8}{speedups[w]:>10.1f}{speedups[w] / w:>12.2f}")
+    lines += [
+        "",
+        f"linear-fit slope: {slope:.2f}  (paper: ~0.8, 78x at 100 workers)",
+        f"speedup at 100 workers: {speedups[100]:.0f}x",
+    ]
+    emit("fig8_speedup", "\n".join(lines))

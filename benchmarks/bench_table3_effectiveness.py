@@ -1,0 +1,137 @@
+"""Table 3 — effectiveness of GNNs trained with different systems.
+
+Grid: {Cora-like, PPI-like, UUG-like} x {GCN, GraphSAGE, GAT} x
+{PyG-proxy, DGL-proxy, AGL}.  The proxies are the in-memory full-graph
+trainers (scatter / fused aggregation, see repro.baselines); AGL is the
+full GraphFlat -> GraphTrainer pipeline.  On UUG-like the proxies run with
+the same relative memory budget that made DGL/PyG OOM on the real UUG, and
+report OOM — reproducing the paper's missing entries.
+
+Shape to reproduce: per (dataset, model) all runnable systems land within
+~0.01-0.02 of each other; on UUG only AGL runs and GAT beats GCN/SAGE.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FullGraphConfig, FullGraphTrainer
+from repro.baselines.fullgraph import GraphTooLargeError
+from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.nn.gnn import build_model
+
+from .conftest import emit, flatten
+
+RESULTS: dict[tuple[str, str, str], str] = {}
+
+MODELS = ["gcn", "graphsage", "gat"]
+SYSTEMS = ["pyg-proxy", "dgl-proxy", "agl"]
+
+# (hidden, heads) per dataset roughly follows §4.1.2: embedding 16 on Cora,
+# 64 on PPI (16 x 4 heads), small for UUG's 8-dim embeddings.  ``proxy_epochs``
+# matches the *step* budget: AGL takes ~10 mini-batch steps per epoch on PPI,
+# so the full-batch proxies get proportionally more epochs (§4.1.2 tunes all
+# systems comparably).
+RECIPES = {
+    "cora": dict(
+        hidden=16, heads=2, task="multiclass", epochs=60, lr=0.02, batch=140,
+        proxy_epochs=60,
+    ),
+    "ppi": dict(
+        hidden=16, heads=4, task="multilabel", epochs=8, lr=0.01, batch=64,
+        proxy_epochs=80,
+    ),
+    "uug": dict(
+        hidden=8, heads=2, task="binary", epochs=6, lr=0.01, batch=32,
+        proxy_epochs=60,
+    ),
+}
+
+
+def make_model(name: str, in_dim: int, classes: int, recipe: dict) -> object:
+    kwargs = dict(
+        in_dim=in_dim, hidden_dim=recipe["hidden"], num_classes=classes,
+        num_layers=2, seed=0,
+    )
+    if name == "gat":
+        kwargs["num_heads"] = recipe["heads"]
+    return build_model(name, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def table3_data(bench_cora, bench_ppi, bench_uug):
+    cora_train = flatten(bench_cora, bench_cora.train_ids, hops=2, max_neighbors=25)
+    cora_test = flatten(bench_cora, bench_cora.test_ids, hops=2, max_neighbors=25)
+    ppi_train = flatten(bench_ppi, bench_ppi.train_ids[:600], hops=2, max_neighbors=15)
+    ppi_test = flatten(bench_ppi, bench_ppi.test_ids, hops=2, max_neighbors=15)
+    uug_kwargs = dict(hops=2, max_neighbors=10, hub_threshold=200, sampling="weighted")
+    uug_train = flatten(bench_uug, bench_uug.train_ids[:800], **uug_kwargs)
+    uug_test = flatten(bench_uug, bench_uug.test_ids[:400], **uug_kwargs)
+    return {
+        "cora": (bench_cora, cora_train, cora_test),
+        "ppi": (bench_ppi, ppi_train, ppi_test),
+        "uug": (bench_uug, uug_train, uug_test),
+    }
+
+
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("dataset", ["cora", "ppi", "uug"])
+@pytest.mark.parametrize("system", SYSTEMS)
+def bench_table3(benchmark, table3_data, dataset, model_name, system):
+    ds, train, test = table3_data[dataset]
+    recipe = RECIPES[dataset]
+    classes = ds.num_classes
+
+    def run() -> str:
+        model = make_model(model_name, ds.feature_dim, classes, recipe)
+        if system in ("pyg-proxy", "dgl-proxy"):
+            aggregation = "scatter" if system == "pyg-proxy" else "fused"
+            # The paper's DGL/PyG could not hold UUG in memory; apply the
+            # equivalent relative budget (half the node count) here.
+            budget = 2000 if dataset == "uug" else None
+            try:
+                trainer = FullGraphTrainer(
+                    model, ds,
+                    FullGraphConfig(
+                        epochs=recipe["proxy_epochs"],
+                        lr=recipe["lr"], task=recipe["task"],
+                        aggregation=aggregation, max_nodes_in_memory=budget,
+                    ),
+                )
+            except GraphTooLargeError:
+                return "OOM"
+            trainer.fit()
+            return f"{trainer.evaluate('test'):.3f}"
+        trainer = GraphTrainer(
+            model,
+            TrainerConfig(
+                batch_size=recipe["batch"], epochs=recipe["epochs"],
+                lr=recipe["lr"], task=recipe["task"], seed=0,
+            ),
+        )
+        trainer.fit(train)
+        return f"{trainer.evaluate(test):.3f}"
+
+    RESULTS[(dataset, model_name, system)] = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+
+def bench_table3_report(benchmark, table3_data):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    metric = {"cora": "Accuracy", "ppi": "micro-F1", "uug": "AUC"}
+    header = f"{'Dataset':<18}{'Method':<12}" + "".join(f"{s:>12}" for s in SYSTEMS)
+    lines = [header, "-" * len(header)]
+    for dataset in ["cora", "ppi", "uug"]:
+        for model_name in MODELS:
+            cells = [
+                RESULTS.get((dataset, model_name, system), "n/a") for system in SYSTEMS
+            ]
+            label = f"{dataset}-like ({metric[dataset]})" if model_name == "gcn" else ""
+            lines.append(
+                f"{label:<18}{model_name:<12}" + "".join(f"{c:>12}" for c in cells)
+            )
+    lines.append("")
+    lines.append("paper shape: systems within ~0.01 of each other per model;")
+    lines.append("DGL/PyG OOM on UUG; GAT clearly best on UUG (0.867 vs 0.681/0.708).")
+    emit("table3_effectiveness", "\n".join(lines))

@@ -1,0 +1,84 @@
+"""Fraud / risk detection on a social interaction graph — the motivating
+industrial workload (§1: "fraud detection", "loan default prediction").
+
+The User-User Graph stand-in has power-law degrees with *hub* accounts
+(merchants, bots) whose in-degree is orders of magnitude above the median.
+This example exercises the two §3.2.2 mechanisms those hubs require:
+
+* **re-indexing** — hub in-edges are split across reducers (load balance);
+* **weighted sampling** — strong interactions are preferentially kept while
+  neighborhoods stay bounded;
+
+then trains a GAT (attention decides which interactions matter — §4.2.1's
+explanation of GAT's win on UUG) and scores *every* account with GraphInfer.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import numpy as np
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.datasets import uug_like
+from repro.metrics import roc_auc
+from repro.nn.gnn import GATModel
+
+
+def main():
+    graph = uug_like(
+        seed=0, num_nodes=3000, avg_degree=8, feature_dim=64,
+        num_hubs=6, hub_degree=500,
+        feature_scale=0.08, noise_edge_fraction=0.3, homophily=0.9,
+    )
+    degrees = graph.to_graph().in_degrees()
+    print(
+        f"graph: {len(graph.nodes)} users, {len(graph.edges)} interactions, "
+        f"max in-degree {degrees.max()} vs median {int(np.median(degrees))}"
+    )
+
+    # Hub-aware flattening: accounts with >150 in-edges are re-indexed, and
+    # at most 10 interactions are kept per account per hop, weighted by
+    # interaction strength.
+    flat_config = GraphFlatConfig(
+        hops=2, sampling="weighted", max_neighbors=10,
+        hub_threshold=150, reindex_fanout=8, seed=0,
+    )
+    train = graph_flat(graph.nodes, graph.edges, graph.train_ids[:600], flat_config)
+    print(
+        f"GraphFlat: {len(train.hub_nodes)} hub accounts re-indexed, "
+        f"largest neighborhood {train.neighborhood_nodes.max()} nodes (bounded)"
+    )
+
+    model = GATModel(
+        in_dim=graph.feature_dim, hidden_dim=8, num_classes=2,
+        num_layers=2, num_heads=2, seed=0,
+    )
+    trainer = GraphTrainer(
+        model, TrainerConfig(batch_size=32, epochs=8, lr=0.01, task="binary")
+    )
+    trainer.fit(train.samples)
+    val = graph_flat(graph.nodes, graph.edges, graph.val_ids, flat_config)
+    print(f"validation AUC: {trainer.evaluate(val.samples):.3f}")
+
+    # Score the entire user base (labeled accounts are a small minority —
+    # this is where GraphInfer's no-repetition inference pays off).
+    scores = graph_infer(
+        model, graph.nodes, graph.edges,
+        GraphInferConfig(
+            sampling="weighted", max_neighbors=10, hub_threshold=150, seed=0
+        ),
+    ).scores
+    risk = {uid: float(s[1] - s[0]) for uid, s in scores.items()}
+
+    test_scores = np.array([risk[int(u)] for u in graph.test_ids])
+    print(f"test AUC from full-graph scores: "
+          f"{roc_auc(test_scores, graph.labels_of(graph.test_ids)):.3f}")
+
+    riskiest = sorted(risk, key=risk.get, reverse=True)[:5]
+    print("5 highest-risk accounts:",
+          ", ".join(f"{uid} ({risk[uid]:+.2f})" for uid in riskiest))
+
+
+if __name__ == "__main__":
+    main()

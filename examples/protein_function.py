@@ -1,0 +1,60 @@
+"""Inductive multi-label protein-function prediction (the PPI workload).
+
+24 independent "tissue" graphs; the model trains on 20 of them and must
+predict 121 functional labels on 2 *unseen* test graphs — the inductive
+setting GraphSAGE was designed for.  Because every GraphFeature is a
+self-contained subgraph, AGL handles the multi-graph dataset with zero
+special casing: nodes of different tissues simply never share edges.
+
+Run:  python examples/protein_function.py
+"""
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.datasets import ppi_like
+from repro.nn.gnn import GraphSAGEModel
+
+
+def main():
+    dataset = ppi_like(seed=0, scale=0.05)
+    print(f"dataset: {dataset.summary()}")
+
+    flat_config = GraphFlatConfig(hops=2, sampling="uniform", max_neighbors=12)
+    train = graph_flat(
+        dataset.nodes, dataset.edges, dataset.train_ids[:800], flat_config
+    )
+    test = graph_flat(dataset.nodes, dataset.edges, dataset.test_ids, flat_config)
+    print(f"GraphFlat: {train.num_targets} train / {test.num_targets} test features")
+
+    model = GraphSAGEModel(
+        in_dim=dataset.feature_dim, hidden_dim=32,
+        num_classes=dataset.num_classes,  # 121 labels
+        num_layers=2, aggregator="mean", combine="add", seed=0,
+    )
+    trainer = GraphTrainer(
+        model,
+        TrainerConfig(batch_size=64, epochs=10, lr=0.01, task="multilabel"),
+    )
+    history = trainer.fit(train.samples)
+    print(f"training: BCE loss {history[0]['loss']:.3f} -> {history[-1]['loss']:.3f}")
+
+    # micro-F1 on proteins from tissues never seen during training
+    print(f"inductive test micro-F1: {trainer.evaluate(test.samples):.3f}")
+
+    # Compare aggregators (the GraphSAGE design space)
+    for aggregator in ("mean", "max", "sum"):
+        model = GraphSAGEModel(
+            in_dim=dataset.feature_dim, hidden_dim=32,
+            num_classes=dataset.num_classes, num_layers=2,
+            aggregator=aggregator, seed=0,
+        )
+        trainer = GraphTrainer(
+            model, TrainerConfig(batch_size=64, epochs=6, lr=0.01, task="multilabel")
+        )
+        trainer.fit(train.samples)
+        print(f"  aggregator={aggregator:<5} test micro-F1 "
+              f"{trainer.evaluate(test.samples):.3f}")
+
+
+if __name__ == "__main__":
+    main()

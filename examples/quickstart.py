@@ -1,0 +1,61 @@
+"""Quickstart: the full AGL workflow in ~40 lines of user code.
+
+    GraphFlat  ->  GraphTrainer  ->  GraphInfer      (Figure 1 / Figure 6)
+
+Generates a small citation graph, flattens 2-hop neighborhoods for the
+labeled nodes, trains a GCN from the flattened samples, evaluates it, and
+finally runs segmented-model inference over *every* node of the graph.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.datasets import cora_like
+from repro.nn.gnn import GCNModel
+
+
+def main():
+    # A Cora-like citation network (2708 papers, 7 topics) — the node table
+    # holds features + labels, the edge table holds citations.
+    dataset = cora_like(seed=0, num_nodes=800, num_edges=2400)
+    print(f"dataset: {dataset.summary()}")
+
+    # --- GraphFlat: k-hop neighborhoods for the labeled nodes -------------
+    flat_config = GraphFlatConfig(hops=2, sampling="uniform", max_neighbors=25)
+    train = graph_flat(dataset.nodes, dataset.edges, dataset.train_ids, flat_config)
+    test = graph_flat(dataset.nodes, dataset.edges, dataset.test_ids, flat_config)
+    print(
+        f"GraphFlat: {train.num_targets} train GraphFeatures, "
+        f"mean {train.neighborhood_nodes.mean():.1f} nodes each"
+    )
+
+    # --- GraphTrainer: train a 2-layer GCN from the flattened samples -----
+    model = GCNModel(
+        in_dim=dataset.feature_dim, hidden_dim=16,
+        num_classes=dataset.num_classes, num_layers=2, dropout=0.1, seed=0,
+    )
+    trainer = GraphTrainer(
+        model, TrainerConfig(batch_size=32, epochs=40, lr=0.02, task="multiclass")
+    )
+    history = trainer.fit(train.samples)
+    print(f"training: loss {history[0]['loss']:.3f} -> {history[-1]['loss']:.3f}")
+    print(f"test accuracy: {trainer.evaluate(test.samples):.3f}")
+
+    # --- GraphInfer: segmented-model inference over the whole graph -------
+    result = graph_infer(
+        model, dataset.nodes, dataset.edges,
+        GraphInferConfig(sampling="uniform", max_neighbors=25),
+    )
+    some_node = int(dataset.test_ids[0])
+    print(
+        f"GraphInfer: scored {result.num_nodes} nodes with "
+        f"{result.embedding_computations} embedding computations; "
+        f"e.g. node {some_node} -> class "
+        f"{int(result.scores[some_node].argmax())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

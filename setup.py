@@ -1,0 +1,7 @@
+"""Legacy setup shim: offline environments lack the `wheel` package that
+PEP 660 editable installs require, so `pip install -e .` goes through
+`setup.py develop` instead.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

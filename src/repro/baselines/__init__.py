@@ -1,0 +1,29 @@
+"""Comparator systems — substrate **S10**.
+
+The paper benchmarks AGL against DGL and PyG (Tables 3 and 4) and against
+its own pre-GraphInfer "original inference module" (Table 5).  DGL/PyG are
+not available offline, so we implement what they *are* for the purposes of
+these experiments — in-memory full-graph trainers over the identical model
+math — differing exactly where the real systems differ:
+
+* :class:`FullGraphTrainer` with ``aggregation="fused"`` (DGL proxy): the
+  whole graph resident in memory, full-batch epochs, fused C-level segment
+  reduction for aggregation (DGL's gspmm analogue);
+* ``aggregation="scatter"`` (PyG proxy): identical but with gather +
+  unbuffered scatter-add aggregation (PyG's index_select/scatter_add
+  analogue), which is the slower kernel — reproducing Table 4's
+  DGL-faster-than-PyG ordering;
+* :class:`OriginalInference`: per-GraphFeature forward over every target —
+  recomputing shared neighborhoods once per target, which is precisely the
+  repetition GraphInfer eliminates.
+"""
+
+from repro.baselines.fullgraph import FullGraphConfig, FullGraphTrainer
+from repro.baselines.original import OriginalInference, OriginalInferenceResult
+
+__all__ = [
+    "FullGraphTrainer",
+    "FullGraphConfig",
+    "OriginalInference",
+    "OriginalInferenceResult",
+]

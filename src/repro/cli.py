@@ -1,0 +1,267 @@
+"""Command-line entry points mirroring the paper's Figure 6 demo:
+
+    GraphFlat    -n node_table -e edge_table -h hops -s sampling_strategy;
+    GraphTrainer -m model_name -i input -t train_strategy -c dist_configs;
+    GraphInfer   -m model -i input -c infer_configs;
+
+Here as ``python -m repro.cli <graphflat|graphtrainer|graphinfer> ...`` over
+TSV node/edge tables and a directory-backed DFS.  Trained models are stored
+as pickled ``(model_name, config, state_dict)`` triples next to the DFS so
+GraphInfer can reload them without retraining.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.graphflat import SAMPLING_REGISTRY, GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import GraphTrainer, TrainerConfig, decode_samples
+from repro.datasets.io import read_edge_table, read_node_table
+from repro.mapreduce import DistFileSystem, LocalRuntime
+from repro.nn.gnn import MODEL_REGISTRY, build_model
+
+__all__ = ["main", "save_model", "load_model"]
+
+
+def save_model(path: str | Path, model, model_name: str) -> None:
+    """Persist ``(name, config, state)`` — enough to rebuild anywhere."""
+    payload = {
+        "model_name": model_name,
+        "config": model.config,
+        "state": model.state_dict(),
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_model(path: str | Path):
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    model = build_model(payload["model_name"], **payload["config"])
+    model.load_state_dict(payload["state"])
+    return model
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dfs", required=True, help="root directory of the local DFS")
+    parser.add_argument("--workers", type=int, default=2, help="runtime thread workers")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _runtime(args) -> LocalRuntime:
+    backend = "threads" if args.workers > 1 else "serial"
+    return LocalRuntime(backend=backend, max_workers=args.workers)
+
+
+def _cmd_graphflat(args) -> int:
+    nodes = read_node_table(args.node_table)
+    edges = read_edge_table(args.edge_table)
+    targets = None
+    if args.targets:
+        targets = np.loadtxt(args.targets, dtype=np.int64, ndmin=1)
+    config = GraphFlatConfig(
+        hops=args.hops,
+        sampling=args.sampling,
+        max_neighbors=args.max_neighbors,
+        hub_threshold=args.hub_threshold,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    fs = DistFileSystem(args.dfs)
+    result = graph_flat(
+        nodes, edges, targets, config, _runtime(args), fs, args.output
+    )
+    print(
+        f"GraphFlat: wrote {result.num_targets} GraphFeatures to "
+        f"{args.dfs}/{args.output} ({len(result.hub_nodes)} hub nodes re-indexed, "
+        f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
+    )
+    return 0
+
+
+def _cmd_graphtrainer(args) -> int:
+    fs = DistFileSystem(args.dfs)
+    samples = decode_samples(fs.read_dataset(args.input))
+    if not samples:
+        print("no training samples found", file=sys.stderr)
+        return 1
+    probe = samples[0].graph_feature
+    if samples[0].label is None:
+        print("training data is unlabeled", file=sys.stderr)
+        return 1
+    if np.ndim(samples[0].label) == 0:
+        num_classes = int(max(int(s.label) for s in samples)) + 1
+        task = "binary" if num_classes == 2 and args.task == "auto" else "multiclass"
+    else:
+        num_classes = len(samples[0].label)
+        task = "multilabel"
+    if args.task != "auto":
+        task = args.task
+
+    kwargs = dict(
+        in_dim=probe.feature_dim, hidden_dim=args.hidden,
+        num_classes=num_classes, num_layers=args.layers, seed=args.seed,
+    )
+    if args.model == "gat":
+        kwargs["num_heads"] = args.heads
+    model = build_model(args.model, **kwargs)
+    trainer = GraphTrainer(
+        model,
+        TrainerConfig(
+            batch_size=args.batch_size, epochs=args.epochs, lr=args.lr,
+            task=task, seed=args.seed,
+        ),
+    )
+    history = trainer.fit(samples)
+    save_model(args.model_out, model, args.model)
+    print(
+        f"GraphTrainer: {args.model} x{args.layers} on {len(samples)} samples, "
+        f"loss {history[0]['loss']:.4f} -> {history[-1]['loss']:.4f}, "
+        f"model saved to {args.model_out}"
+    )
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    """Operational tooling: inspect a DFS dataset (GraphFeature samples or
+    prediction records) without loading a model."""
+    fs = DistFileSystem(args.dfs)
+    if not fs.exists(args.dataset):
+        print(f"dataset {args.dataset!r} not found; available: {fs.list_datasets()}",
+              file=sys.stderr)
+        return 1
+    records = list(fs.read_dataset(args.dataset))
+    print(f"dataset:  {args.dataset}")
+    print(f"shards:   {fs.num_shards(args.dataset)}")
+    print(f"records:  {len(records)}")
+    print(f"bytes:    {fs.size_bytes(args.dataset)}")
+    if not records:
+        return 0
+    try:
+        samples = decode_samples(records[: args.sample])
+    except Exception:
+        from repro.core.infer.pipeline import decode_prediction
+
+        scores = [decode_prediction(r)[1] for r in records[: args.sample]]
+        dims = {len(s) for s in scores}
+        print(f"kind:     predictions (score dims {sorted(dims)})")
+        return 0
+    nodes = np.array([s.graph_feature.num_nodes for s in samples])
+    edges = np.array([s.graph_feature.num_edges for s in samples])
+    print("kind:     GraphFeature samples")
+    print(f"neighborhood nodes: mean {nodes.mean():.1f}, max {int(nodes.max())}")
+    print(f"neighborhood edges: mean {edges.mean():.1f}, max {int(edges.max())}")
+    labels = [s.label for s in samples if s.label is not None]
+    if labels and np.ndim(labels[0]) == 0:
+        unique, counts = np.unique(np.asarray(labels), return_counts=True)
+        dist = ", ".join(f"{int(u)}: {c}" for u, c in zip(unique, counts))
+        print(f"label distribution (first {len(labels)}): {dist}")
+    elif labels:
+        positives = float(np.mean([np.mean(label) for label in labels]))
+        print(f"multilabel positive rate: {positives:.3f}")
+    else:
+        print("labels:   none (inference data)")
+    return 0
+
+
+def _cmd_graphinfer(args) -> int:
+    model = load_model(args.model)
+    nodes = read_node_table(args.node_table)
+    edges = read_edge_table(args.edge_table)
+    config = GraphInferConfig(
+        sampling=args.sampling,
+        max_neighbors=args.max_neighbors,
+        hub_threshold=args.hub_threshold,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    targets = None
+    if args.targets:
+        targets = np.loadtxt(args.targets, dtype=np.int64, ndmin=1)
+    fs = DistFileSystem(args.dfs)
+    result = graph_infer(
+        model, nodes, edges, config, _runtime(args), fs, args.output, targets=targets
+    )
+    print(
+        f"GraphInfer: scored {result.num_nodes} nodes "
+        f"({result.embedding_computations} embedding computations) -> "
+        f"{args.dfs}/{args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="AGL pipelines over TSV tables + local DFS"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flat = sub.add_parser("graphflat", help="generate k-hop GraphFeatures")
+    flat.add_argument("-n", "--node-table", required=True)
+    flat.add_argument("-e", "--edge-table", required=True)
+    flat.add_argument("--hops", type=int, default=2)
+    flat.add_argument(
+        "-s", "--sampling", choices=sorted(SAMPLING_REGISTRY), default="uniform"
+    )
+    flat.add_argument("--max-neighbors", type=int, default=32)
+    flat.add_argument("--hub-threshold", type=int, default=1000)
+    flat.add_argument("--targets", help="file with one target node id per line")
+    flat.add_argument("--output", default="graphflat/output")
+    flat.add_argument("--shards", type=int, default=4)
+    _add_common(flat)
+    flat.set_defaults(func=_cmd_graphflat)
+
+    train = sub.add_parser("graphtrainer", help="train a GNN from GraphFeatures")
+    train.add_argument("-m", "--model", choices=sorted(MODEL_REGISTRY), required=True)
+    train.add_argument("-i", "--input", required=True, help="DFS dataset of samples")
+    train.add_argument("--model-out", required=True, help="file for the trained model")
+    train.add_argument("--layers", type=int, default=2)
+    train.add_argument("--hidden", type=int, default=16)
+    train.add_argument("--heads", type=int, default=4)
+    train.add_argument("--epochs", type=int, default=10)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument(
+        "--task", choices=["auto", "multiclass", "multilabel", "binary"], default="auto"
+    )
+    _add_common(train)
+    train.set_defaults(func=_cmd_graphtrainer)
+
+    infer = sub.add_parser("graphinfer", help="segmented-model inference")
+    infer.add_argument("-m", "--model", required=True, help="trained model file")
+    infer.add_argument("-n", "--node-table", required=True)
+    infer.add_argument("-e", "--edge-table", required=True)
+    infer.add_argument(
+        "-s", "--sampling", choices=sorted(SAMPLING_REGISTRY), default="uniform"
+    )
+    infer.add_argument("--max-neighbors", type=int, default=10**9)
+    infer.add_argument("--hub-threshold", type=int, default=10**9)
+    infer.add_argument("--output", default="graphinfer/output")
+    infer.add_argument("--shards", type=int, default=4)
+    infer.add_argument("--targets",
+                       help="file of node ids: score only these (pruned pipeline)")
+    _add_common(infer)
+    infer.set_defaults(func=_cmd_graphinfer)
+
+    describe = sub.add_parser("describe", help="inspect a DFS dataset")
+    describe.add_argument("dataset", help="dataset name under the DFS root")
+    describe.add_argument("--sample", type=int, default=256,
+                          help="records to decode for statistics")
+    _add_common(describe)
+    describe.set_defaults(func=_cmd_describe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,7 @@
+"""AGL's three core modules (the paper's primary contribution, §3):
+
+* :mod:`repro.core.graphflat` — distributed k-hop neighborhood generation;
+* :mod:`repro.core.trainer` — PS-based training with pipeline / pruning /
+  edge-partitioning optimizations;
+* :mod:`repro.core.infer` — MapReduce inference via model segmentation.
+"""

@@ -1,0 +1,359 @@
+"""The GraphFlat MapReduce pipeline (§3.2.1) with re-indexing + sampling
+(§3.2.2).
+
+Rounds:
+
+* **Map** (runs once): co-locates, per node ``v``, the self information
+  ``S_0(v)`` (its feature), and v's out-edges; then propagates
+  ``S_0(v)`` along out-edges as the in-edge information of the destinations.
+* **Reduce × K**: round ``k`` merges each node's self information with its
+  (sampled) in-edge information — producing the k-hop neighborhood — and
+  propagates the merged result via out-edges for round ``k+1``.  Out-edge
+  information passes through unchanged.
+* **Storing**: final self informations of the target nodes are flattened to
+  wire bytes (``repro.proto``) and written to the DFS.
+
+Hub handling: when a destination's in-degree exceeds ``hub_threshold``
+(degrees are pre-computed by a small MapReduce job), propagation appends a
+deterministic suffix to the shuffle key, splitting the hub's in-edge records
+across ``reindex_fanout`` reducers which pre-sample and pre-merge; an
+inverted-indexing step restores the original key for the final merge.  This
+is Figure 3 verbatim.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graphflat.records import InEdgeInfo, OutEdgeInfo, SubgraphInfo
+from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
+from repro.graph.subgraph import GraphFeature
+from repro.graph.tables import EdgeTable, NodeTable
+from repro.graph.validate import validate_tables
+from repro.mapreduce.fs import DistFileSystem
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import LocalRuntime, RunStats
+from repro.proto.codec import encode_sample
+
+__all__ = ["GraphFlatConfig", "GraphFlatResult", "graph_flat"]
+
+
+@dataclass
+class GraphFlatConfig:
+    """Knobs of the pipeline (the CLI flags of Figure 6's ``GraphFlat -n
+    node_table -e edge_table -h hops -s sampling_strategy``)."""
+
+    hops: int = 2
+    sampling: str = "uniform"
+    max_neighbors: int = 32
+    hub_threshold: int = 1_000
+    reindex_fanout: int = 8
+    num_reducers: int = 4
+    num_shards: int = 4
+    seed: int = 0
+    validate: bool = True
+
+    def __post_init__(self):
+        if self.hops < 1:
+            raise ValueError("hops must be >= 1")
+        if self.reindex_fanout < 2:
+            raise ValueError("reindex_fanout must be >= 2")
+
+
+@dataclass
+class GraphFlatResult:
+    """Output handle: encoded samples (in-memory mode) or a DFS dataset."""
+
+    num_targets: int
+    hops: int
+    dataset: str | None = None
+    samples: list[bytes] | None = None
+    hub_nodes: list[int] = field(default_factory=list)
+    round_stats: list[RunStats] = field(default_factory=list)
+    neighborhood_nodes: np.ndarray | None = None
+    neighborhood_edges: np.ndarray | None = None
+
+    def summary(self) -> dict:
+        out = {
+            "targets": self.num_targets,
+            "hops": self.hops,
+            "hubs": len(self.hub_nodes),
+        }
+        if self.neighborhood_nodes is not None and len(self.neighborhood_nodes):
+            out["mean_nodes"] = float(self.neighborhood_nodes.mean())
+            out["max_nodes"] = int(self.neighborhood_nodes.max())
+            out["mean_edges"] = float(self.neighborhood_edges.mean())
+            out["max_edges"] = int(self.neighborhood_edges.max())
+        return out
+
+
+def _suffix(src: int, dst: int, fanout: int) -> int:
+    """Deterministic 'random suffix' for re-indexing: stable across task
+    re-execution (fault tolerance), across runs, and across rounds (so the
+    per-slice sampling draw is the same every round — see repro.core.
+    graphflat.sampling)."""
+    return zlib.crc32(f"{src}|{dst}".encode()) % fanout
+
+
+def _degree_job(num_reducers: int) -> MapReduceJob:
+    """In-degree counting — the broadcast input of the hub detector."""
+
+    def mapper(key, value):
+        # value: (src, dst, weight, edge_feat); count by destination
+        yield value[1], 1
+
+    def combiner(key, values):
+        yield key, sum(values)
+
+    def reducer(key, values):
+        yield key, sum(values)
+
+    return MapReduceJob(
+        "graphflat-degree", reducer, mapper=mapper, combiner=combiner, num_reducers=num_reducers
+    )
+
+
+def graph_flat(
+    nodes: NodeTable,
+    edges: EdgeTable,
+    targets: np.ndarray | None = None,
+    config: GraphFlatConfig | None = None,
+    runtime: LocalRuntime | None = None,
+    fs: DistFileSystem | None = None,
+    dataset_name: str = "graphflat/output",
+) -> GraphFlatResult:
+    """Run GraphFlat end to end.
+
+    Parameters
+    ----------
+    targets:
+        node ids whose k-hop neighborhoods are materialised (the labeled
+        nodes, §3.2); ``None`` keeps every node (GraphInfer-style input).
+    runtime:
+        MapReduce runtime; defaults to a serial one.
+    fs / dataset_name:
+        when ``fs`` is given, flattened samples are written there as a
+        sharded dataset and ``result.dataset`` is set; otherwise the encoded
+        samples are returned in memory (``result.samples``).
+    """
+    config = config or GraphFlatConfig()
+    runtime = runtime or LocalRuntime()
+    if config.validate:
+        validate_tables(nodes, edges)
+    edges = edges.coalesce()  # one A_{v,u} entry per node pair (see EdgeTable)
+
+    sampler = make_sampler(config.sampling, config.max_neighbors, config.seed)
+    target_set = None if targets is None else {int(t) for t in np.asarray(targets)}
+    if target_set is not None:
+        missing = [t for t in sorted(target_set) if t not in nodes]
+        if missing:
+            raise KeyError(f"{len(missing)} target ids not in node table (e.g. {missing[:5]})")
+    label_of = _label_lookup(nodes, target_set)
+
+    edge_rows = [
+        (int(s), (int(s), int(d), float(w), f))
+        for s, d, f, w in edges.rows()
+    ]
+
+    # ---- hub detection (a tiny MR job over the edge table) ----------------
+    degree_pairs = runtime.run(_degree_job(config.num_reducers), edge_rows)
+    hubs = {int(v) for v, deg in degree_pairs if deg > config.hub_threshold}
+    reindex_active = bool(hubs)
+
+    # ---- Map phase ("runs only once at the beginning", §3.2.1) ------------
+    node_rows = [(int(i), ("node", feat)) for i, feat, _ in nodes.rows()]
+    round_stats: list[RunStats] = []
+    prepare = MapReduceJob(
+        "graphflat-map",
+        _make_prepare_reducer(hubs, config.reindex_fanout, reindex_active),
+        num_reducers=config.num_reducers,
+    )
+    data = runtime.run(prepare, node_rows + edge_rows)
+    round_stats.append(runtime.last_stats)
+
+    # ---- K Reduce rounds ---------------------------------------------------
+    for k in range(1, config.hops + 1):
+        if reindex_active:
+            partial = MapReduceJob(
+                f"graphflat-reduce{k}-reindex",
+                _make_partial_reducer(sampler, k, config.reindex_fanout),
+                num_reducers=config.num_reducers,
+            )
+            data = runtime.run(partial, data)
+            round_stats.append(runtime.last_stats)
+        merge = MapReduceJob(
+            f"graphflat-reduce{k}",
+            _make_merge_reducer(
+                sampler,
+                k,
+                config.hops,
+                hubs,
+                config.reindex_fanout,
+                reindex_active,
+                target_set,
+            ),
+            num_reducers=config.num_reducers,
+        )
+        data = runtime.run(merge, data)
+        round_stats.append(runtime.last_stats)
+
+    # ---- Storing ------------------------------------------------------------
+    encoded: list[bytes] = []
+    n_nodes: list[int] = []
+    n_edges: list[int] = []
+    for node_id, (tag, info) in data:
+        if tag != "final":  # pragma: no cover - defensive
+            raise RuntimeError(f"unexpected record tag {tag!r} after final round")
+        gf = info.to_graph_feature()
+        n_nodes.append(gf.num_nodes)
+        n_edges.append(gf.num_edges)
+        encoded.append(encode_sample(node_id, label_of(node_id), gf))
+
+    result = GraphFlatResult(
+        num_targets=len(encoded),
+        hops=config.hops,
+        hub_nodes=sorted(hubs),
+        round_stats=round_stats,
+        neighborhood_nodes=np.asarray(n_nodes, dtype=np.int64),
+        neighborhood_edges=np.asarray(n_edges, dtype=np.int64),
+    )
+    if fs is not None:
+        fs.write_dataset(dataset_name, encoded, num_shards=config.num_shards)
+        result.dataset = dataset_name
+    else:
+        result.samples = encoded
+    return result
+
+
+def _label_lookup(nodes: NodeTable, target_set: set[int] | None):
+    if nodes.labels is None:
+        return lambda node_id: None
+
+    def lookup(node_id: int):
+        label = nodes.labels[nodes.index_of(node_id)[0]]
+        if np.ndim(label) == 0:
+            return int(label)
+        return np.asarray(label, dtype=np.float32)
+
+    return lookup
+
+
+def _propagation_key(dst: int, src: int, hubs, fanout, reindex_active):
+    if not reindex_active:
+        return dst
+    if dst in hubs:
+        return (dst, 1 + _suffix(src, dst, fanout))
+    return (dst, 0)
+
+
+def _plain_key(node_id: int, reindex_active: bool):
+    return (node_id, 0) if reindex_active else node_id
+
+
+def _make_prepare_reducer(hubs, fanout, reindex_active):
+    """The Map phase: build S_0, gather out-edges, propagate for round 1."""
+
+    def reducer(node_id, values):
+        feature = None
+        outs: list[OutEdgeInfo] = []
+        for value in values:
+            tag = value[0]
+            if tag == "node":
+                feature = value[1]
+            else:  # edge row keyed by source
+                _, dst, weight, edge_feat = value
+                outs.append(OutEdgeInfo(int(dst), weight, edge_feat))
+        if feature is None:
+            # Edge rows whose source never appears in the node table are
+            # rejected by validation; reaching here means validation was
+            # disabled — drop the stray records.
+            return
+        self_info = SubgraphInfo.seed(int(node_id), feature)
+        yield _plain_key(int(node_id), reindex_active), ("self", self_info)
+        if outs:
+            yield _plain_key(int(node_id), reindex_active), ("out", outs)
+            for out in outs:
+                key = _propagation_key(out.dst, int(node_id), hubs, fanout, reindex_active)
+                yield key, ("in", InEdgeInfo(int(node_id), out.weight, out.edge_feat, self_info))
+
+    return reducer
+
+
+def _make_partial_reducer(sampler: SamplingStrategy, round_index: int, fanout: int):
+    """Re-indexed stage (Figure 3): sample/pre-merge hub slices, then
+    inverted-index back to the original shuffle key."""
+
+    def reducer(key, values):
+        node_id, sfx = key
+        if sfx == 0:
+            # Non-hub records pass through unchanged (inverted index is a
+            # no-op for them).
+            for value in values:
+                yield node_id, value
+            return
+        in_edges = [value[1] for value in values]  # only "in" records get suffixes
+        sampled = sampler.select(in_edges, node_id, salt=sfx)
+        yield node_id, ("partial", sampled)
+
+    return reducer
+
+
+def _make_merge_reducer(
+    sampler: SamplingStrategy,
+    round_index: int,
+    total_rounds: int,
+    hubs,
+    fanout: int,
+    reindex_active: bool,
+    target_set: set[int] | None,
+):
+    """The paper's Reduce: merge self + in-edge info, propagate via
+    out-edges (or emit the final neighborhoods on the last round)."""
+
+    final_round = round_index == total_rounds
+
+    def reducer(node_id, values):
+        self_info: SubgraphInfo | None = None
+        outs: list[OutEdgeInfo] = []
+        ins: list[InEdgeInfo] = []
+        for value in values:
+            tag = value[0]
+            if tag == "self":
+                self_info = value[1]
+            elif tag == "out":
+                outs = value[1]
+            elif tag == "in":
+                ins.append(value[1])
+            elif tag == "partial":
+                ins.extend(value[1])
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown record tag {tag!r}")
+        if self_info is None:
+            # A node that only ever appears as an edge destination of
+            # dropped strays (validation disabled); nothing to do.
+            return
+
+        sampled = sampler.select(ins, node_id, salt=0)
+        # Copy-on-merge: the previous round's object is shared with every
+        # reducer we propagated it to — never mutate it.
+        merged = SubgraphInfo(self_info.root, dict(self_info.nodes), dict(self_info.edges))
+        for in_edge in sampled:
+            merged.absorb_neighbor(in_edge.subgraph, in_edge.weight, in_edge.edge_feat)
+
+        if final_round:
+            if target_set is None or node_id in target_set:
+                yield node_id, ("final", merged)
+            return
+        yield _plain_key(node_id, reindex_active), ("self", merged)
+        if outs:
+            yield _plain_key(node_id, reindex_active), ("out", outs)
+            for out in outs:
+                key = _propagation_key(
+                    out.dst, node_id, hubs, fanout, reindex_active
+                )
+                yield key, ("in", InEdgeInfo(node_id, out.weight, out.edge_feat, merged))
+
+    return reducer

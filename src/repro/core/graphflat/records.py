@@ -1,0 +1,148 @@
+"""Value types flowing through GraphFlat's shuffles.
+
+The paper's Reduce phase handles "three kinds of information" per node
+(§3.2.1): the **self information** (here :class:`SubgraphInfo` — the
+accumulated (k-1)-hop neighborhood), the **in-edge information**
+(:class:`InEdgeInfo` — edge feature/weight plus the sender's self
+information) and the **out-edge information** (:class:`OutEdgeInfo` — where
+to propagate next round).  All three pickle cleanly so the runtime can spill
+shuffles to disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.subgraph import GraphFeature
+
+__all__ = ["SubgraphInfo", "InEdgeInfo", "OutEdgeInfo", "PartialMerge"]
+
+
+@dataclass
+class SubgraphInfo:
+    """Accumulated neighborhood of ``root`` (the "self information").
+
+    ``nodes`` maps node id -> (feature, hop distance to root along directed
+    paths); ``edges`` maps (src, dst) -> (weight, edge_feature).  Dedup by
+    construction: re-discovered nodes keep the *minimum* hop.
+    """
+
+    root: int
+    nodes: dict[int, tuple[np.ndarray, int]] = field(default_factory=dict)
+    edges: dict[tuple[int, int], tuple[float, np.ndarray | None]] = field(default_factory=dict)
+
+    @staticmethod
+    def seed(node_id: int, feature: np.ndarray) -> "SubgraphInfo":
+        """The 0-hop neighborhood: the node itself (Definition 1)."""
+        return SubgraphInfo(root=node_id, nodes={node_id: (feature, 0)})
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def absorb_neighbor(
+        self,
+        neighbor: "SubgraphInfo",
+        weight: float,
+        edge_feat: np.ndarray | None,
+    ) -> None:
+        """Merge an in-edge neighbor's self information (one merge step).
+
+        Every node of the neighbor's subgraph lands one hop further from our
+        root; the connecting edge ``neighbor.root -> self.root`` is added.
+        """
+        for node_id, (feat, hop) in neighbor.nodes.items():
+            mine = self.nodes.get(node_id)
+            if mine is None or hop + 1 < mine[1]:
+                self.nodes[node_id] = (feat, hop + 1)
+        for key, value in neighbor.edges.items():
+            if key not in self.edges:
+                self.edges[key] = value
+        self.edges[(neighbor.root, self.root)] = (weight, edge_feat)
+
+    def absorb_partial(self, other: "SubgraphInfo") -> None:
+        """Merge a partial result from a re-indexed (suffixed) reducer —
+        hops are already relative to our root, so no +1."""
+        if other.root != self.root:
+            raise ValueError(f"partial merge root mismatch: {other.root} != {self.root}")
+        for node_id, (feat, hop) in other.nodes.items():
+            mine = self.nodes.get(node_id)
+            if mine is None or hop < mine[1]:
+                self.nodes[node_id] = (feat, hop)
+        for key, value in other.edges.items():
+            if key not in self.edges:
+                self.edges[key] = value
+
+    def to_graph_feature(self) -> GraphFeature:
+        """Flatten to the storage/training form (§3.2.1 "Storing")."""
+        node_ids = np.fromiter(self.nodes.keys(), dtype=np.int64, count=len(self.nodes))
+        order = np.argsort(node_ids)
+        node_ids = node_ids[order]
+        feats = list(self.nodes.values())
+        x = np.stack([feats[i][0] for i in order]).astype(np.float32)
+        hops = np.asarray([feats[i][1] for i in order], dtype=np.int64)
+
+        pos = {int(i): p for p, i in enumerate(node_ids)}
+        m = len(self.edges)
+        src = np.empty(m, dtype=np.int64)
+        dst = np.empty(m, dtype=np.int64)
+        weight = np.empty(m, dtype=np.float32)
+        any_feat = any(ef is not None for _, ef in self.edges.values())
+        efeat = None
+        if any_feat:
+            dim = next(len(ef) for _, ef in self.edges.values() if ef is not None)
+            efeat = np.zeros((m, dim), dtype=np.float32)
+        for i, ((s, d), (w, ef)) in enumerate(self.edges.items()):
+            src[i] = pos[s]
+            dst[i] = pos[d]
+            weight[i] = w
+            if efeat is not None and ef is not None:
+                efeat[i] = ef
+        # Canonical (dst, src) order: the flattened bytes are then identical
+        # no matter how reducers were partitioned (re-indexing, retries, ...).
+        order = np.lexsort((src, dst))
+        return GraphFeature(
+            np.asarray([self.root]),
+            node_ids,
+            x,
+            hops,
+            src[order],
+            dst[order],
+            None if efeat is None else efeat[order],
+            weight[order],
+        )
+
+
+@dataclass
+class InEdgeInfo:
+    """In-edge information: the edge ``src -> key_node`` plus the sender's
+    current self information (its (k-1)-hop neighborhood)."""
+
+    src: int
+    weight: float
+    edge_feat: np.ndarray | None
+    subgraph: SubgraphInfo
+
+
+@dataclass
+class OutEdgeInfo:
+    """Out-edge information: propagation target for the next round.
+    "All of the out-edge information remain unchanged" (§3.2.1)."""
+
+    dst: int
+    weight: float
+    edge_feat: np.ndarray | None
+
+
+@dataclass
+class PartialMerge:
+    """Output of a suffixed (re-indexed) reducer: the in-edge records of one
+    slice of a hub node, pre-sampled and pre-merged (§3.2.2)."""
+
+    in_edges: list[InEdgeInfo]

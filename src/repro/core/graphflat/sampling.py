@@ -1,0 +1,118 @@
+"""The sampling framework of §3.2.2.
+
+"We build a distributed sampling framework and implement a set of sampling
+strategies (e.g., uniform sampling, weighted sampling), to reduce the scale
+of the k-hop neighborhoods, especially for those hub nodes."
+
+Strategies select at most ``max_neighbors`` in-edge records per node.
+Sampling is deterministic given ``(seed, node id, salt)`` — and the salt is
+*round-independent* on purpose:
+
+* a re-executed reducer attempt must sample identically, or the fault
+  tolerance inherited from MapReduce breaks;
+* every Reduce round re-propagates the same in-edge records, so a
+  round-dependent draw would store the *union* of per-round selections in
+  the final GraphFeature, while GraphInfer (which samples once per layer)
+  would see a different neighborhood — breaking §3.4's "consistence of data
+  processing ... unbiased inference" guarantee.  With one fixed draw per
+  node, GraphFlat's neighborhoods and GraphInfer's per-layer aggregations
+  coincide exactly, for stochastic strategies too (tested).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.graphflat.records import InEdgeInfo
+
+__all__ = [
+    "SamplingStrategy",
+    "UniformSampling",
+    "WeightedSampling",
+    "TopKSampling",
+    "SAMPLING_REGISTRY",
+    "make_sampler",
+]
+
+
+class SamplingStrategy:
+    """Base: cap in-edge record lists at ``max_neighbors``."""
+
+    name = "abstract"
+
+    def __init__(self, max_neighbors: int, seed: int = 0):
+        if max_neighbors < 1:
+            raise ValueError("max_neighbors must be >= 1")
+        self.max_neighbors = max_neighbors
+        self.seed = seed
+
+    def _rng(self, node_id: int, salt: int) -> np.random.Generator:
+        """Deterministic per (seed, node, salt): independent of reducer
+        placement, of retry attempts, and of the reduce round (see module
+        docstring).  ``salt`` distinguishes re-indexed hub slices."""
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=(self.seed, node_id & 0x7FFFFFFFFFFFFFFF, salt))
+        )
+
+    def select(
+        self, in_edges: list[InEdgeInfo], node_id: int, salt: int = 0
+    ) -> list[InEdgeInfo]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class UniformSampling(SamplingStrategy):
+    """Keep a uniformly random subset of in-edges."""
+
+    name = "uniform"
+
+    def select(self, in_edges, node_id, salt=0):
+        if len(in_edges) <= self.max_neighbors:
+            return in_edges
+        rng = self._rng(node_id, salt)
+        # Sort candidates by src id first so the choice does not depend on
+        # arrival order (shuffles are unordered between runs).
+        ordered = sorted(in_edges, key=lambda e: e.src)
+        keep = rng.choice(len(ordered), size=self.max_neighbors, replace=False)
+        keep.sort()
+        return [ordered[i] for i in keep]
+
+
+class WeightedSampling(SamplingStrategy):
+    """Sample without replacement with probability proportional to weight."""
+
+    name = "weighted"
+
+    def select(self, in_edges, node_id, salt=0):
+        if len(in_edges) <= self.max_neighbors:
+            return in_edges
+        rng = self._rng(node_id, salt)
+        ordered = sorted(in_edges, key=lambda e: e.src)
+        weights = np.asarray([max(e.weight, 1e-12) for e in ordered], dtype=np.float64)
+        probs = weights / weights.sum()
+        keep = rng.choice(len(ordered), size=self.max_neighbors, replace=False, p=probs)
+        keep.sort()
+        return [ordered[i] for i in keep]
+
+
+class TopKSampling(SamplingStrategy):
+    """Deterministically keep the ``max_neighbors`` heaviest in-edges
+    (ties broken by src id, so results are placement-independent)."""
+
+    name = "topk"
+
+    def select(self, in_edges, node_id, salt=0):
+        if len(in_edges) <= self.max_neighbors:
+            return in_edges
+        ordered = sorted(in_edges, key=lambda e: (-e.weight, e.src))
+        return ordered[: self.max_neighbors]
+
+
+SAMPLING_REGISTRY = {
+    cls.name: cls for cls in (UniformSampling, WeightedSampling, TopKSampling)
+}
+
+
+def make_sampler(name: str, max_neighbors: int, seed: int = 0) -> SamplingStrategy:
+    if name not in SAMPLING_REGISTRY:
+        raise KeyError(f"unknown sampling strategy {name!r}; known: {sorted(SAMPLING_REGISTRY)}")
+    return SAMPLING_REGISTRY[name](max_neighbors, seed)

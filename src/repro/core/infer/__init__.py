@@ -1,0 +1,21 @@
+"""GraphInfer: distributed GNN inference over huge graphs (§3.4).
+
+A trained K-layer model is split into K+1 slices (hierarchical model
+segmentation); K MapReduce Reduce rounds then push *every* node's embedding
+up one layer per round — merging each node's in-edge neighbor embeddings,
+applying the slice, propagating via out-edges — and a final round applies
+the prediction slice.  "There is no repetition of embedding inference in the
+above pipeline", unlike the original GraphFeature-based module
+(:mod:`repro.baselines.original`) that Table 5 compares against.
+"""
+
+from repro.core.infer.segmentation import ModelSlice, segment_model
+from repro.core.infer.pipeline import GraphInferConfig, GraphInferResult, graph_infer
+
+__all__ = [
+    "ModelSlice",
+    "segment_model",
+    "GraphInferConfig",
+    "GraphInferResult",
+    "graph_infer",
+]

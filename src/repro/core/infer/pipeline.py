@@ -1,0 +1,391 @@
+"""The GraphInfer MapReduce pipeline (§3.4, Figure 5).
+
+Round structure mirrors GraphFlat — Map once, then K+1 Reduce rounds — but
+the "self information" is the node's *current-layer embedding* instead of an
+accumulated subgraph, which is why there is no repeated computation: each
+node's kth-layer embedding is computed exactly once and propagated to every
+out-edge neighbor that needs it.
+
+Sampling and hub re-indexing are applied identically to GraphFlat (same
+strategies, same seeds), "to maintain the consistence of data processing ...
+which can provide unbiased inference with the model trained based on
+GraphFlat and GraphTrainer" (§3.4).  With sampling disabled (``max_neighbors
+= inf``), the pipeline's outputs equal the full-graph batched forward to
+float tolerance — an integration test asserts this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
+from repro.core.infer.segmentation import ModelSlice, segment_model
+from repro.graph.tables import EdgeTable, NodeTable
+from repro.graph.validate import validate_tables
+from repro.mapreduce.fs import DistFileSystem
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.runtime import LocalRuntime, RunStats
+from repro.nn.gnn.base import GNNModel
+from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
+
+__all__ = ["GraphInferConfig", "GraphInferResult", "graph_infer"]
+
+
+@dataclass
+class _OutEdge:
+    dst: int
+    weight: float
+    edge_feat: np.ndarray | None
+
+
+@dataclass
+class _InEmb:
+    """In-edge information during inference: the sender's embedding.
+
+    Field names ``src``/``weight`` intentionally match GraphFlat's
+    ``InEdgeInfo`` so the sampling strategies apply unchanged."""
+
+    src: int
+    weight: float
+    edge_feat: np.ndarray | None
+    h: np.ndarray
+
+
+@dataclass
+class GraphInferConfig:
+    """Inference knobs (Figure 6's ``GraphInfer -m model -i input -c ...``)."""
+
+    sampling: str = "uniform"
+    max_neighbors: int = 10**9
+    hub_threshold: int = 10**9
+    reindex_fanout: int = 8
+    num_reducers: int = 4
+    num_shards: int = 4
+    seed: int = 0
+    validate: bool = True
+
+
+@dataclass
+class GraphInferResult:
+    """Predictions plus the cost counters Table 5 reports."""
+
+    num_nodes: int
+    scores: dict[int, np.ndarray] | None = None
+    dataset: str | None = None
+    round_stats: list[RunStats] = field(default_factory=list)
+    embedding_computations: int = 0
+    """Total per-node layer evaluations — exactly ``K * |V|`` here; the
+    original module's count grows with neighborhood overlap instead."""
+
+
+def encode_prediction(node_id: int, scores: np.ndarray) -> bytes:
+    out = bytearray()
+    out += encode_signed(int(node_id))
+    vec = np.asarray(scores, dtype="<f4").ravel()
+    out += encode_unsigned(len(vec))
+    out += vec.tobytes()
+    return bytes(out)
+
+
+def decode_prediction(data: bytes) -> tuple[int, np.ndarray]:
+    node_id, offset = decode_signed(data, 0)
+    length, offset = decode_unsigned(data, offset)
+    scores = np.frombuffer(data[offset : offset + 4 * length], dtype="<f4").copy()
+    return node_id, scores
+
+
+def _distance_to_targets(
+    edges: EdgeTable, target_set: set[int], max_hops: int
+) -> dict[int, int]:
+    """``d(target_set, u)`` for every u within ``max_hops`` reverse hops.
+
+    BFS from the targets along edges *backwards* (an edge ``u -> v`` means
+    u's embedding feeds v), i.e. the same distance GraphTrainer's pruning
+    uses (§3.3.2) lifted to the inference pipeline.
+    """
+    in_neighbors: dict[int, list[int]] = {}
+    for s, d in zip(edges.src.tolist(), edges.dst.tolist()):
+        in_neighbors.setdefault(d, []).append(s)
+    dist = {t: 0 for t in target_set}
+    frontier = list(target_set)
+    for hop in range(1, max_hops + 1):
+        nxt: list[int] = []
+        for v in frontier:
+            for u in in_neighbors.get(v, ()):
+                if u not in dist:
+                    dist[u] = hop
+                    nxt.append(u)
+        if not nxt:
+            break
+        frontier = nxt
+    return dist
+
+
+def graph_infer(
+    model: GNNModel,
+    nodes: NodeTable,
+    edges: EdgeTable,
+    config: GraphInferConfig | None = None,
+    runtime: LocalRuntime | None = None,
+    fs: DistFileSystem | None = None,
+    dataset_name: str = "graphinfer/output",
+    targets=None,
+) -> GraphInferResult:
+    """Run segmented-model inference over the whole graph.
+
+    Returns per-node prediction scores (in-memory dict keyed by node id, or
+    a DFS dataset of framed prediction records when ``fs`` is given).
+
+    ``targets`` restricts inference to a subset of nodes, enabling §3.4's
+    pruning: "the pruning strategy similar to that in GraphTrainer also
+    works in this pipeline in the case the inference task is performed over
+    a part of the entire graph".  A node's layer-k embedding is computed
+    and propagated only when the node lies within ``K - k`` reverse hops of
+    a target, so the per-round work shrinks toward the targets.  Scores are
+    produced for the targets only and equal the whole-graph run exactly
+    (tested).
+    """
+    config = config or GraphInferConfig()
+    runtime = runtime or LocalRuntime()
+    if config.validate:
+        validate_tables(nodes, edges)
+    edges = edges.coalesce()  # must match GraphFlat's canonical adjacency
+
+    slices = segment_model(model)
+    gnn_slices, head_slice = slices[:-1], slices[-1]
+    sampler = make_sampler(config.sampling, config.max_neighbors, config.seed)
+
+    target_set = None
+    distance: dict[int, int] | None = None
+    if targets is not None:
+        target_set = {int(t) for t in np.asarray(targets)}
+        missing = [t for t in sorted(target_set) if t not in nodes]
+        if missing:
+            raise KeyError(
+                f"{len(missing)} target ids not in node table (e.g. {missing[:5]})"
+            )
+        distance = _distance_to_targets(edges, target_set, len(gnn_slices))
+
+    # Hub detection identical to GraphFlat: in-degree over the edge table.
+    in_deg: dict[int, int] = {}
+    for dst in edges.dst:
+        in_deg[int(dst)] = in_deg.get(int(dst), 0) + 1
+    hubs = {v for v, d in in_deg.items() if d > config.hub_threshold}
+    reindex_active = bool(hubs)
+
+    # ---- Map: self embedding h^(0) = x, out-edges, propagate h^(0) --------
+    total_rounds = len(gnn_slices)
+
+    def needed(node_id: int, k: int) -> bool:
+        """Is node's layer-k embedding inside a target's receptive field?"""
+        if distance is None:
+            return True
+        return distance.get(node_id, total_rounds + 1) <= total_rounds - k
+
+    node_rows = [(int(i), ("node", feat)) for i, feat, _ in nodes.rows()]
+    edge_rows = [(int(s), (int(s), int(d), float(w), f)) for s, d, f, w in edges.rows()]
+    prepare = MapReduceJob(
+        "graphinfer-map",
+        _make_prepare_reducer(hubs, config.reindex_fanout, reindex_active, needed),
+        num_reducers=config.num_reducers,
+    )
+    data = runtime.run(prepare, node_rows + edge_rows)
+    stats = [runtime.last_stats]
+
+    # ---- K embedding rounds -------------------------------------------------
+    for k, mslice in enumerate(gnn_slices, start=1):
+        if reindex_active:
+            partial = MapReduceJob(
+                f"graphinfer-reduce{k}-reindex",
+                _make_partial_reducer(sampler, k, config.reindex_fanout),
+                num_reducers=config.num_reducers,
+            )
+            data = runtime.run(partial, data)
+            stats.append(runtime.last_stats)
+        job = MapReduceJob(
+            f"graphinfer-reduce{k}",
+            _make_embedding_reducer(
+                mslice, sampler, k, total_rounds, hubs, config.reindex_fanout,
+                reindex_active, needed,
+            ),
+            num_reducers=config.num_reducers,
+        )
+        data = runtime.run(job, data)
+        stats.append(runtime.last_stats)
+
+    # ---- final round: the prediction slice ---------------------------------
+    predict = MapReduceJob(
+        "graphinfer-predict",
+        _make_prediction_reducer(head_slice),
+        num_reducers=config.num_reducers,
+    )
+    data = runtime.run(predict, data)
+    stats.append(runtime.last_stats)
+
+    if distance is None:
+        embedding_computations = len(nodes) * total_rounds
+    else:
+        embedding_computations = sum(
+            1
+            for k in range(1, total_rounds + 1)
+            for node_id, d in distance.items()
+            if d <= total_rounds - k and node_id in nodes
+        )
+    result = GraphInferResult(
+        num_nodes=len(data),
+        round_stats=stats,
+        embedding_computations=embedding_computations,
+    )
+    if fs is not None:
+        fs.write_dataset(
+            dataset_name,
+            (encode_prediction(v, s) for v, s in data),
+            num_shards=config.num_shards,
+        )
+        result.dataset = dataset_name
+    else:
+        result.scores = {int(v): s for v, s in data}
+    return result
+
+
+# --------------------------------------------------------------------- keys
+def _suffix_key(dst: int, src: int, hubs, fanout, reindex_active):
+    import zlib
+
+    if not reindex_active:
+        return dst
+    if dst in hubs:
+        # Round-independent, matching GraphFlat's suffix exactly.
+        return (dst, 1 + zlib.crc32(f"{src}|{dst}".encode()) % fanout)
+    return (dst, 0)
+
+
+def _plain_key(node_id: int, reindex_active: bool):
+    return (node_id, 0) if reindex_active else node_id
+
+
+# ----------------------------------------------------------------- reducers
+def _make_prepare_reducer(hubs, fanout, reindex_active, needed):
+    def reducer(node_id, values):
+        feature = None
+        outs: list[_OutEdge] = []
+        for value in values:
+            if value[0] == "node":
+                feature = value[1]
+            else:
+                _, dst, weight, edge_feat = value
+                outs.append(_OutEdge(int(dst), weight, edge_feat))
+        if feature is None:
+            return
+        # Targeted-inference pruning: a node outside every target's
+        # receptive field contributes nothing to any round.
+        if not needed(int(node_id), 0):
+            return
+        h0 = np.asarray(feature, dtype=np.float32)
+        yield _plain_key(int(node_id), reindex_active), ("self", h0)
+        if outs:
+            yield _plain_key(int(node_id), reindex_active), ("out", outs)
+            for out in outs:
+                if not needed(out.dst, 1):
+                    continue
+                key = _suffix_key(out.dst, int(node_id), hubs, fanout, reindex_active)
+                yield key, ("in", _InEmb(int(node_id), out.weight, out.edge_feat, h0))
+
+    return reducer
+
+
+def _make_partial_reducer(sampler: SamplingStrategy, round_index: int, fanout: int):
+    def reducer(key, values):
+        node_id, sfx = key
+        if sfx == 0:
+            for value in values:
+                yield node_id, value
+            return
+        in_embs = [value[1] for value in values]
+        yield node_id, ("partial", sampler.select(in_embs, node_id, salt=sfx))
+
+    return reducer
+
+
+def _make_embedding_reducer(
+    mslice: ModelSlice,
+    sampler: SamplingStrategy,
+    round_index: int,
+    total_rounds: int,
+    hubs,
+    fanout: int,
+    reindex_active: bool,
+    needed=lambda node_id, k: True,
+):
+    layer = mslice.materialize()  # loaded once per round, shared by groups
+    last = round_index == total_rounds
+
+    def reducer(node_id, values):
+        self_h: np.ndarray | None = None
+        outs: list[_OutEdge] = []
+        ins: list[_InEmb] = []
+        for value in values:
+            tag = value[0]
+            if tag == "self":
+                self_h = value[1]
+            elif tag == "out":
+                outs = value[1]
+            elif tag == "in":
+                ins.append(value[1])
+            elif tag == "partial":
+                ins.extend(value[1])
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown record tag {tag!r}")
+        if self_h is None:
+            return
+        # Targeted-inference pruning: this round's embedding is only
+        # computed for nodes still inside a target's receptive field.
+        if not needed(node_id, round_index):
+            return
+        sampled = sampler.select(ins, node_id, salt=0)
+        if sampled:
+            neigh_h = np.stack([e.h for e in sampled])
+            neigh_w = np.asarray([e.weight for e in sampled], dtype=np.float32)
+            edge_feat = (
+                np.stack([e.edge_feat for e in sampled])
+                if sampled[0].edge_feat is not None
+                else None
+            )
+        else:
+            neigh_h = np.zeros((0, len(self_h)), dtype=np.float32)
+            neigh_w = np.zeros(0, dtype=np.float32)
+            edge_feat = None
+        h_next = layer.infer_node(self_h, neigh_h, neigh_w, edge_feat)
+
+        if last:
+            # "in the Kth round ... only need to output it rather than all of
+            # the three information to the last Reduce phase" (§3.4).
+            yield node_id, ("self", h_next)
+            return
+        yield _plain_key(node_id, reindex_active), ("self", h_next)
+        if outs:
+            yield _plain_key(node_id, reindex_active), ("out", outs)
+            for out in outs:
+                if not needed(out.dst, round_index + 1):
+                    continue
+                key = _suffix_key(out.dst, node_id, hubs, fanout, reindex_active)
+                yield key, ("in", _InEmb(node_id, out.weight, out.edge_feat, h_next))
+
+    return reducer
+
+
+def _make_prediction_reducer(head_slice: ModelSlice):
+    head = head_slice.materialize()
+
+    def reducer(node_id, values):
+        for value in values:
+            if value[0] == "self":
+                h = value[1]
+                scores = h @ head.weight.data
+                if head.bias is not None:
+                    scores = scores + head.bias.data
+                yield node_id, scores.astype(np.float32)
+
+    return reducer

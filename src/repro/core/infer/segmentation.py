@@ -1,0 +1,55 @@
+"""Hierarchical model segmentation (§3.4, step 1).
+
+"A K-layer GNN model is split into K+1 slices in terms of the model
+hierarchy: the kth slice consists of all parameters of the kth GNN layer,
+while the K+1th slice consists of all parameters of the final prediction
+model."
+
+A :class:`ModelSlice` is self-contained and picklable — (kind, constructor
+config, state dict) — so a MapReduce reducer can load exactly its slice
+without the rest of the model, mirroring how the production system ships
+slices to reducer processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.gnn.base import GNNModel
+from repro.nn.gnn.registry import build_layer
+
+__all__ = ["ModelSlice", "segment_model"]
+
+
+@dataclass
+class ModelSlice:
+    """One slice of a segmented model."""
+
+    index: int
+    kind: str
+    config: dict
+    state: dict[str, np.ndarray]
+
+    def materialize(self):
+        """Rebuild the runnable layer (reducer-side "load its model slice")."""
+        return build_layer(self.kind, self.config, self.state)
+
+    @property
+    def is_prediction(self) -> bool:
+        return self.kind == "dense_head"
+
+    def num_parameters(self) -> int:
+        return int(sum(v.size for v in self.state.values()))
+
+
+def segment_model(model: GNNModel) -> list[ModelSlice]:
+    """Split a trained model into its K+1 slices."""
+    slices = [
+        ModelSlice(i, kind, config, state)
+        for i, (kind, config, state) in enumerate(model.layer_slices())
+    ]
+    if not slices or not slices[-1].is_prediction:
+        raise ValueError("model segmentation must end with the prediction slice")
+    return slices

@@ -1,0 +1,76 @@
+"""Graph pruning — the graph-level optimization of §3.3.2.
+
+Equation 3 replaces the batch adjacency ``A_B`` with per-layer pruned
+matrices ``A^(k)_B``.  The insight: after layer ``k`` of a K-layer model,
+only embeddings of nodes within ``K - k - 1`` hops of a target are ever read
+again, so layer ``k`` need not aggregate into any farther destination.
+
+With ``hops[u] = d(V_B, u)`` (computed by GraphFlat and min-merged during
+batching — exactly the paper's ``d(V_B, u) = min_v d(v, u)``), layer ``k``
+keeps edge ``u -> w`` iff ``hops[w] <= K - k - 1``:
+
+* layer 0 keeps every edge of a K-hop neighborhood (their destinations are
+  all within ``K - 1`` hops) — pruning is a no-op for 1-layer models, as
+  Table 4 observes;
+* the last layer keeps only edges pointing directly at targets.
+
+Pruning happens once per batch at vectorization time, so under the training
+pipeline it costs "nearly no extra time" (§3.3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.gnn.block import EdgeBlock
+
+__all__ = ["layer_edge_masks", "prune_blocks"]
+
+
+def layer_edge_masks(
+    edge_dst: np.ndarray, hops: np.ndarray, num_layers: int
+) -> list[np.ndarray]:
+    """Boolean keep-mask per layer for edges with destinations ``edge_dst``.
+
+    ``hops[i]`` is the distance of local node ``i`` to the nearest batch
+    target.  Masks are monotone: ``mask[k+1] ⊆ mask[k]``.
+    """
+    if num_layers < 1:
+        raise ValueError("num_layers must be >= 1")
+    dst_hops = hops[edge_dst]
+    return [dst_hops <= num_layers - k - 1 for k in range(num_layers)]
+
+
+def prune_blocks(
+    base: EdgeBlock,
+    hops: np.ndarray,
+    num_layers: int,
+    aggregator_factory=None,
+) -> list[EdgeBlock]:
+    """Build the per-layer pruned ``EdgeBlock`` list for Equation 3.
+
+    Boolean masking preserves the destination-sorted order, so each pruned
+    block remains a valid partitioning target; ``aggregator_factory`` (if
+    given) installs a layout-bound aggregation backend on every block.
+    """
+    masks = layer_edge_masks(base.dst, hops, num_layers)
+    blocks: list[EdgeBlock] = []
+    for mask in masks:
+        if bool(mask.all()):
+            # Layer keeps every edge — share the base block (and its
+            # aggregator / self-loop caches) instead of copying.
+            if aggregator_factory is not None and base.aggregator is None:
+                base.aggregator = aggregator_factory(base)
+            blocks.append(base)
+            continue
+        block = EdgeBlock(
+            base.src[mask],
+            base.dst[mask],
+            base.num_nodes,
+            base.weight[mask],
+            None if base.edge_feat is None else base.edge_feat[mask],
+        )
+        if aggregator_factory is not None:
+            block.aggregator = aggregator_factory(block)
+        blocks.append(block)
+    return blocks

@@ -1,0 +1,84 @@
+"""Subgraph vectorization — phase one of the training workflow (§3.3.1).
+
+"The training process of GNNs has to merge the subgraphs described by
+GraphFeatures together, and then vectorize the merged subgraph as the
+following three matrices": the destination-sorted sparse adjacency ``A_B``
+(our :class:`~repro.nn.gnn.block.EdgeBlock`), the node feature matrix
+``X_B`` and the edge feature matrix ``E_B`` — plus target ids and labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trainer.pruning import prune_blocks
+from repro.graph.subgraph import GraphFeature, merge_graph_features
+from repro.nn.gnn.block import BatchInputs, EdgeBlock
+from repro.proto.codec import decode_sample
+
+__all__ = ["TrainSample", "decode_samples", "vectorize_batch"]
+
+
+@dataclass
+class TrainSample:
+    """Decoded ``<TargetedNodeId, Label, GraphFeature>`` triple."""
+
+    target_id: int
+    label: int | np.ndarray | None
+    graph_feature: GraphFeature
+
+
+def decode_samples(records) -> list[TrainSample]:
+    """Decode an iterable of wire-format sample records."""
+    return [TrainSample(*decode_sample(r)) for r in records]
+
+
+def vectorize_batch(
+    samples: list[TrainSample],
+    num_layers: int,
+    pruning: bool = True,
+    aggregator_factory=None,
+) -> tuple[BatchInputs, np.ndarray | None]:
+    """Merge + vectorize a batch of samples into model inputs.
+
+    Returns ``(batch, labels)`` where ``labels`` aligns with
+    ``batch.target_index`` rows (int vector for single-label tasks, float
+    matrix for multi-label, ``None`` for unlabeled inference batches).
+
+    With ``pruning`` the per-layer adjacency list implements Equation 3;
+    otherwise every layer sees the full ``A_B``.  ``aggregator_factory``
+    installs an edge-partitioned aggregation backend on each block.
+    """
+    if not samples:
+        raise ValueError("cannot vectorize an empty batch")
+    merged = merge_graph_features([s.graph_feature for s in samples])
+
+    base = EdgeBlock(
+        merged.edge_src,
+        merged.edge_dst,
+        merged.num_nodes,
+        merged.edge_weight,
+        merged.edge_feat,
+    )
+    if pruning:
+        blocks = prune_blocks(base, merged.hops, num_layers, aggregator_factory)
+    else:
+        if aggregator_factory is not None:
+            base.aggregator = aggregator_factory(base)
+        blocks = [base] * num_layers
+
+    batch = BatchInputs(merged.x, merged.target_index, blocks)
+
+    labels = None
+    sample_labels = {int(s.target_id): s.label for s in samples}
+    if any(label is not None for label in sample_labels.values()):
+        ordered = [sample_labels[int(t)] for t in merged.target_ids]
+        if any(o is None for o in ordered):
+            raise ValueError("batch mixes labeled and unlabeled samples")
+        if np.ndim(ordered[0]) == 0:
+            labels = np.asarray(ordered, dtype=np.int64)
+        else:
+            labels = np.stack([np.asarray(o, dtype=np.float32) for o in ordered])
+    return batch, labels

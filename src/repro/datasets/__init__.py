@@ -1,0 +1,31 @@
+"""Offline dataset stand-ins — substrate **S11**.
+
+No network access is available, so the three evaluation datasets are
+replaced by synthetic generators that match the published statistics and —
+more importantly — the *structural phenomena* each experiment depends on:
+
+* :func:`cora_like` — citation-style graph: 2708 nodes, 1433-d sparse binary
+  features, 7 classes, 140/500/1000 split (Kipf & Welling protocol);
+* :func:`ppi_like` — 24 independent protein graphs, 50-d features, 121
+  labels (multi-label), split 20/2/2 graphs (GraphSAGE protocol);
+* :func:`uug_like` — power-law social graph with hub nodes, 2 classes and a
+  small labeled fraction: a scaled-down User-User Graph.  Hubs are what
+  GraphFlat's re-indexing/sampling exists for (§3.2.2).
+
+All generators are seeded and pure — same seed, same dataset.
+"""
+
+from repro.datasets.base import GraphDataset
+from repro.datasets.synthetic import cora_like, ppi_like, uug_like
+from repro.datasets.io import read_edge_table, read_node_table, write_edge_table, write_node_table
+
+__all__ = [
+    "GraphDataset",
+    "cora_like",
+    "ppi_like",
+    "uug_like",
+    "read_node_table",
+    "write_node_table",
+    "read_edge_table",
+    "write_edge_table",
+]

@@ -1,0 +1,88 @@
+"""``GraphDataset`` — node/edge tables + task metadata + splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.attributed import AttributedGraph
+from repro.graph.tables import EdgeTable, NodeTable
+
+__all__ = ["GraphDataset"]
+
+_TASKS = ("multiclass", "multilabel", "binary")
+
+
+@dataclass
+class GraphDataset:
+    """A complete supervised graph-learning task.
+
+    ``splits`` maps ``"train" | "val" | "test"`` to arrays of node *ids*
+    (not positions).  ``graph_ids`` marks the component for multi-graph
+    datasets (PPI); ``None`` for single-graph datasets.
+    """
+
+    name: str
+    nodes: NodeTable
+    edges: EdgeTable
+    splits: dict[str, np.ndarray]
+    task: str
+    num_classes: int
+    graph_ids: np.ndarray | None = None
+    _graph: AttributedGraph | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.task not in _TASKS:
+            raise ValueError(f"task must be one of {_TASKS}, got {self.task!r}")
+        for part in ("train", "val", "test"):
+            if part not in self.splits:
+                raise ValueError(f"missing split {part!r}")
+            self.splits[part] = np.asarray(self.splits[part], dtype=np.int64)
+        all_ids = np.concatenate([self.splits[p] for p in ("train", "val", "test")])
+        if len(np.unique(all_ids)) != len(all_ids):
+            raise ValueError("train/val/test splits overlap")
+
+    # ------------------------------------------------------------ shortcuts
+    @property
+    def train_ids(self) -> np.ndarray:
+        return self.splits["train"]
+
+    @property
+    def val_ids(self) -> np.ndarray:
+        return self.splits["val"]
+
+    @property
+    def test_ids(self) -> np.ndarray:
+        return self.splits["test"]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.nodes.feature_dim
+
+    def labels_of(self, node_ids) -> np.ndarray:
+        """Labels aligned with ``node_ids`` (int vector or indicator matrix)."""
+        if self.nodes.labels is None:
+            raise ValueError(f"dataset {self.name!r} has no labels")
+        return self.nodes.labels[self.nodes.index_of(node_ids)]
+
+    def to_graph(self) -> AttributedGraph:
+        """Materialise (and cache) the in-memory graph — baselines/tests."""
+        if self._graph is None:
+            self._graph = AttributedGraph(self.nodes, self.edges)
+        return self._graph
+
+    def summary(self) -> dict:
+        """Table 2-style statistics."""
+        return {
+            "name": self.name,
+            "nodes": len(self.nodes),
+            "edges": len(self.edges),
+            "feature_dim": self.feature_dim,
+            "classes": self.num_classes,
+            "task": self.task,
+            "train": len(self.train_ids),
+            "val": len(self.val_ids),
+            "test": len(self.test_ids),
+            "graphs": 1 if self.graph_ids is None else int(self.graph_ids.max()) + 1,
+        }

@@ -1,0 +1,93 @@
+"""TSV readers/writers for node and edge tables.
+
+This is the "raw input on the DFS" format of §3.2.1: GraphFlat takes "a node
+table and an edge table" — here, tab-separated files that upstream jobs (or
+the example scripts) produce.  Feature vectors are comma-joined floats so a
+row stays one line; labels may be an int, a comma-joined indicator vector,
+or absent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph.tables import EdgeTable, NodeTable
+
+__all__ = ["write_node_table", "read_node_table", "write_edge_table", "read_edge_table"]
+
+
+def _fmt_vec(vec: np.ndarray) -> str:
+    return ",".join(repr(float(x)) for x in vec)
+
+
+def write_node_table(path: str | Path, nodes: NodeTable) -> None:
+    """Rows: ``id \\t feature_csv [\\t label]``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for node_id, feat, label in nodes.rows():
+            parts = [str(node_id), _fmt_vec(feat)]
+            if label is not None:
+                if np.ndim(label) == 0:
+                    parts.append(str(int(label)))
+                else:
+                    parts.append(_fmt_vec(np.asarray(label)))
+            fh.write("\t".join(parts) + "\n")
+
+
+def read_node_table(path: str | Path) -> NodeTable:
+    ids, feats, labels = [], [], []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) not in (2, 3):
+                raise ValueError(f"{path}:{line_no}: expected 2-3 columns, got {len(parts)}")
+            ids.append(int(parts[0]))
+            feats.append(np.fromstring(parts[1], sep=",", dtype=np.float32))
+            if len(parts) == 3:
+                if "," in parts[2]:
+                    labels.append(np.fromstring(parts[2], sep=",", dtype=np.float32))
+                else:
+                    labels.append(int(parts[2]))
+    label_arr = np.asarray(labels) if labels else None
+    if label_arr is not None and len(label_arr) != len(ids):
+        raise ValueError(f"{path}: some rows have labels and some do not")
+    return NodeTable(np.asarray(ids), np.vstack(feats), label_arr)
+
+
+def write_edge_table(path: str | Path, edges: EdgeTable) -> None:
+    """Rows: ``src \\t dst \\t weight [\\t feature_csv]``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for src, dst, feat, weight in edges.rows():
+            parts = [str(src), str(dst), repr(float(weight))]
+            if feat is not None:
+                parts.append(_fmt_vec(feat))
+            fh.write("\t".join(parts) + "\n")
+
+
+def read_edge_table(path: str | Path) -> EdgeTable:
+    src, dst, weights, feats = [], [], [], []
+    with open(path, encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) not in (3, 4):
+                raise ValueError(f"{path}:{line_no}: expected 3-4 columns, got {len(parts)}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            weights.append(float(parts[2]))
+            if len(parts) == 4:
+                feats.append(np.fromstring(parts[3], sep=",", dtype=np.float32))
+    if feats and len(feats) != len(src):
+        raise ValueError(f"{path}: some rows have edge features and some do not")
+    return EdgeTable(
+        np.asarray(src),
+        np.asarray(dst),
+        np.vstack(feats) if feats else None,
+        np.asarray(weights, dtype=np.float32),
+    )

@@ -1,0 +1,174 @@
+"""In-memory directed attributed graph with CSR adjacency in both directions.
+
+``AttributedGraph`` is the representation used by (a) the dataset generators,
+(b) the full-graph in-memory baseline trainers (the DGL/PyG proxies of
+Table 4), and (c) tests that compare AGL's subgraph pipeline against ground
+truth.  AGL itself never materialises this object for the "industrial" path —
+that is the whole point of GraphFlat — but the reproduction needs it as the
+reference implementation.
+
+Terminology follows the paper (§2.1): for node ``v``, the *in-edge neighbors*
+``N+_v`` are sources of edges pointing at ``v`` (the nodes a GNN layer
+aggregates from), and the *out-edge neighbors* ``N-_v`` are destinations of
+edges leaving ``v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.tables import EdgeTable, NodeTable
+
+__all__ = ["AttributedGraph"]
+
+
+class AttributedGraph:
+    """Directed attributed graph over positional node indices ``0..n-1``.
+
+    Construction re-indexes the arbitrary int64 ids of the node table to
+    contiguous positions; both id spaces stay accessible (``node_ids`` maps
+    position -> id, ``index_of`` maps id -> position).
+
+    Two CSR structures are kept:
+
+    * *in-CSR* — edges grouped by **destination** (rows = destinations).
+      This is the layout GNN aggregation wants ("edges ... sorted by their
+      destination nodes", §3.3.1) and the layout edge partitioning slices.
+    * *out-CSR* — edges grouped by **source**, used for propagation along
+      out-edges (GraphFlat / GraphInfer message passing).
+    """
+
+    def __init__(self, nodes: NodeTable, edges: EdgeTable):
+        self.nodes = nodes
+        self.edges = edges
+        n = len(nodes)
+        src_pos = nodes.index_of(edges.src) if len(edges) else np.empty(0, np.int64)
+        dst_pos = nodes.index_of(edges.dst) if len(edges) else np.empty(0, np.int64)
+
+        # in-CSR: sort edges by destination (stable, so src order within a
+        # destination follows input order — matters for reproducible sampling)
+        order_in = np.argsort(dst_pos, kind="stable")
+        self._in_src = src_pos[order_in]
+        self._in_dst = dst_pos[order_in]
+        self._in_eid = order_in  # position into the original edge table
+        self._in_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._in_ptr, dst_pos + 1, 1)
+        np.cumsum(self._in_ptr, out=self._in_ptr)
+
+        # out-CSR: sort edges by source
+        order_out = np.argsort(src_pos, kind="stable")
+        self._out_src = src_pos[order_out]
+        self._out_dst = dst_pos[order_out]
+        self._out_eid = order_out
+        self._out_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._out_ptr, src_pos + 1, 1)
+        np.cumsum(self._out_ptr, out=self._out_ptr)
+
+    # ------------------------------------------------------------------ size
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def node_ids(self) -> np.ndarray:
+        return self.nodes.ids
+
+    @property
+    def node_features(self) -> np.ndarray:
+        return self.nodes.features
+
+    @property
+    def feature_dim(self) -> int:
+        return self.nodes.feature_dim
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return self.edges.feature_dim
+
+    def index_of(self, node_ids) -> np.ndarray:
+        return self.nodes.index_of(node_ids)
+
+    # ----------------------------------------------------------- adjacency
+    def in_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sources, edge_table_positions)`` of edges pointing at ``v``."""
+        lo, hi = self._in_ptr[v], self._in_ptr[v + 1]
+        return self._in_src[lo:hi], self._in_eid[lo:hi]
+
+    def out_edges(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(destinations, edge_table_positions)`` of edges leaving ``v``."""
+        lo, hi = self._out_ptr[v], self._out_ptr[v + 1]
+        return self._out_dst[lo:hi], self._out_eid[lo:hi]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """``N+_v`` — positions of nodes pointing at ``v`` (may repeat)."""
+        return self.in_edges(v)[0]
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """``N-_v`` — positions of nodes ``v`` points at (may repeat)."""
+        return self.out_edges(v)[0]
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self._in_ptr)
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self._out_ptr)
+
+    # Layout accessors used by the vectorizer / baselines ------------------
+    @property
+    def in_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(row_ptr, src, edge_ids)`` with rows = destination nodes."""
+        return self._in_ptr, self._in_src, self._in_eid
+
+    @property
+    def out_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(row_ptr, dst, edge_ids)`` with rows = source nodes."""
+        return self._out_ptr, self._out_dst, self._out_eid
+
+    # -------------------------------------------------------------- queries
+    def k_hop_ancestors(self, targets, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Reference BFS for the paper's k-hop neighborhood (Definition 1).
+
+        Returns ``(node_positions, hop_distance)`` for every node ``u`` with a
+        directed path ``u -> ... -> v`` of length ``<= k`` to some target
+        ``v`` (distance = the minimum such length).  This walks *in-edges*
+        backwards because GNN information flows along in-edges (Theorem 1).
+        Used as ground truth by GraphFlat's tests.
+        """
+        targets = np.atleast_1d(np.asarray(targets, dtype=np.int64))
+        dist = np.full(self.num_nodes, -1, dtype=np.int64)
+        dist[targets] = 0
+        frontier = targets
+        for hop in range(1, k + 1):
+            nxt = []
+            for v in frontier:
+                for u in self.in_neighbors(int(v)):
+                    if dist[u] == -1:
+                        dist[u] = hop
+                        nxt.append(u)
+            if not nxt:
+                break
+            frontier = np.asarray(nxt, dtype=np.int64)
+        keep = np.flatnonzero(dist >= 0)
+        return keep, dist[keep]
+
+    def dense_adjacency(self) -> np.ndarray:
+        """``A`` as a dense ``(n, n)`` float32 matrix: ``A[v, u] = w(u->v)``.
+
+        Only for small graphs / tests — the whole paper exists because this
+        does not scale.
+        """
+        adj = np.zeros((self.num_nodes, self.num_nodes), dtype=np.float32)
+        src = self.nodes.index_of(self.edges.src)
+        dst = self.nodes.index_of(self.edges.dst)
+        np.add.at(adj, (dst, src), self.edges.weights)
+        return adj
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AttributedGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"fn={self.feature_dim}, fe={self.edge_feature_dim})"
+        )

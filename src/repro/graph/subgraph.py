@@ -1,0 +1,218 @@
+"""``GraphFeature`` — the flattened k-hop neighborhood of §3.2.
+
+A ``GraphFeature`` is the self-contained record GraphFlat emits for each
+target node: the nodes within k hops (along reverse in-edge paths), their
+features, the connecting edges with features/weights, and per-node hop
+distances.  "Since the k-hop neighborhood w.r.t. a node helps discriminate
+the node from others, we also call it GraphFeature" (§3.2.1).
+
+The byte-level flattening ("protobuf strings" in the paper) lives in
+``repro.proto``; this module is the in-memory form plus the batch *merge*
+operation that GraphTrainer's vectorization phase performs (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["GraphFeature", "merge_graph_features"]
+
+
+@dataclass
+class GraphFeature:
+    """Flattened k-hop neighborhood w.r.t. one (or several) target nodes.
+
+    Attributes
+    ----------
+    target_ids:
+        ``(t,) int64`` global ids of the target node(s).  GraphFlat emits one
+        target per feature; merged batches carry all batch targets.
+    node_ids:
+        ``(n,) int64`` global ids of every node in the neighborhood.  The
+        targets are always present.
+    x:
+        ``(n, fn) float32`` node feature matrix.
+    hops:
+        ``(n,) int64`` — ``hops[i]`` is ``d(targets, node_i)``: the length of
+        the shortest directed path from node ``i`` to the nearest target
+        (0 for targets themselves).  Drives graph pruning (§3.3.2).
+    edge_src / edge_dst:
+        ``(m,) int64`` **local** indices into ``node_ids``.  Edge direction is
+        ``src -> dst`` exactly as in the edge table.
+    edge_feat:
+        ``(m, fe) float32`` or ``None`` when the graph has no edge features.
+    edge_weight:
+        ``(m,) float32`` positive weights (``A_{v,u}``).
+    """
+
+    target_ids: np.ndarray
+    node_ids: np.ndarray
+    x: np.ndarray
+    hops: np.ndarray
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_feat: np.ndarray | None = None
+    edge_weight: np.ndarray | None = None
+    _pos: dict[int, int] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.target_ids = np.atleast_1d(np.asarray(self.target_ids, dtype=np.int64))
+        self.node_ids = np.asarray(self.node_ids, dtype=np.int64)
+        self.x = np.asarray(self.x, dtype=np.float32)
+        self.hops = np.asarray(self.hops, dtype=np.int64)
+        self.edge_src = np.asarray(self.edge_src, dtype=np.int64)
+        self.edge_dst = np.asarray(self.edge_dst, dtype=np.int64)
+        if self.edge_weight is None:
+            self.edge_weight = np.ones(len(self.edge_src), dtype=np.float32)
+        else:
+            self.edge_weight = np.asarray(self.edge_weight, dtype=np.float32)
+        if self.edge_feat is not None:
+            self.edge_feat = np.asarray(self.edge_feat, dtype=np.float32)
+        self._validate()
+        self._pos = {int(i): p for p, i in enumerate(self.node_ids)}
+
+    def _validate(self) -> None:
+        n, m = len(self.node_ids), len(self.edge_src)
+        if len(np.unique(self.node_ids)) != n:
+            raise ValueError("GraphFeature node_ids contain duplicates")
+        if self.x.shape[0] != n:
+            raise ValueError(f"x has {self.x.shape[0]} rows for {n} nodes")
+        if self.hops.shape != (n,):
+            raise ValueError("hops must have one entry per node")
+        if self.edge_dst.shape != (m,) or self.edge_weight.shape != (m,):
+            raise ValueError("edge arrays must be aligned")
+        if m and (self.edge_src.max() >= n or self.edge_dst.max() >= n):
+            raise ValueError("edge endpoints out of range")
+        if m and (self.edge_src.min() < 0 or self.edge_dst.min() < 0):
+            raise ValueError("edge endpoints must be non-negative")
+        if self.edge_feat is not None and self.edge_feat.shape[0] != m:
+            raise ValueError("edge_feat must have one row per edge")
+        target_set = set(int(t) for t in self.target_ids)
+        present = set(int(i) for i in self.node_ids)
+        if not target_set <= present:
+            raise ValueError("targets must be contained in node_ids")
+
+    # ---------------------------------------------------------------- sizes
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.x.shape[1]
+
+    @property
+    def edge_feature_dim(self) -> int:
+        return 0 if self.edge_feat is None else self.edge_feat.shape[1]
+
+    @property
+    def target_index(self) -> np.ndarray:
+        """Local row indices of the targets inside ``node_ids``/``x``."""
+        return np.fromiter(
+            (self._pos[int(t)] for t in self.target_ids),
+            dtype=np.int64,
+            count=len(self.target_ids),
+        )
+
+    def local_index_of(self, node_id: int) -> int:
+        return self._pos[int(node_id)]
+
+    # ------------------------------------------------------------ utilities
+    def sorted_by_destination(self) -> "GraphFeature":
+        """Copy with edges stably sorted by destination (CSR-ready layout)."""
+        order = np.argsort(self.edge_dst, kind="stable")
+        return GraphFeature(
+            self.target_ids,
+            self.node_ids,
+            self.x,
+            self.hops,
+            self.edge_src[order],
+            self.edge_dst[order],
+            None if self.edge_feat is None else self.edge_feat[order],
+            self.edge_weight[order],
+        )
+
+    def max_hop(self) -> int:
+        return int(self.hops.max(initial=0))
+
+
+def merge_graph_features(features: list[GraphFeature]) -> GraphFeature:
+    """Merge a batch of GraphFeatures into one subgraph (§3.3.1 step 1).
+
+    Overlapping neighborhoods share nodes and edges; the merge dedupes nodes
+    by global id and edges by ``(global_src, global_dst)`` (parallel edges
+    inside a single neighborhood are assumed already distinct-by-endpoint —
+    GraphFlat collapses duplicates the same way).  ``hops`` become the
+    *minimum* distance to any target in the batch, which is exactly
+    ``d(V_B, u)`` of the pruning section (§3.3.2).
+
+    The result's edges are sorted by destination, matching the paper's
+    adjacency-matrix contract.
+    """
+    if not features:
+        raise ValueError("cannot merge an empty batch")
+    if len(features) == 1:
+        return features[0].sorted_by_destination()
+
+    fe_dims = {f.edge_feature_dim for f in features}
+    if len(fe_dims) != 1:
+        raise ValueError(f"inconsistent edge feature dims in batch: {fe_dims}")
+    fn_dims = {f.feature_dim for f in features}
+    if len(fn_dims) != 1:
+        raise ValueError(f"inconsistent node feature dims in batch: {fn_dims}")
+
+    all_ids = np.concatenate([f.node_ids for f in features])
+    merged_ids, first_occurrence = np.unique(all_ids, return_index=True)
+    all_x = np.concatenate([f.x for f in features], axis=0)
+    merged_x = all_x[first_occurrence]
+
+    # hops = min over all batch members that contain the node
+    all_hops = np.concatenate([f.hops for f in features])
+    merged_hops = np.full(len(merged_ids), np.iinfo(np.int64).max, dtype=np.int64)
+    slot = np.searchsorted(merged_ids, all_ids)
+    np.minimum.at(merged_hops, slot, all_hops)
+
+    # edges: translate to global ids, dedupe on (src, dst)
+    g_src = np.concatenate([f.node_ids[f.edge_src] for f in features])
+    g_dst = np.concatenate([f.node_ids[f.edge_dst] for f in features])
+    g_w = np.concatenate([f.edge_weight for f in features])
+    g_ef = (
+        None
+        if features[0].edge_feat is None
+        else np.concatenate(
+            [
+                f.edge_feat
+                if f.edge_feat is not None
+                else np.zeros((f.num_edges, fe_dims.pop()), np.float32)
+                for f in features
+            ],
+            axis=0,
+        )
+    )
+    pair = np.stack([g_src, g_dst], axis=1)
+    if len(pair):
+        _, keep = np.unique(pair, axis=0, return_index=True)
+        keep.sort()
+    else:
+        keep = np.empty(0, dtype=np.int64)
+    l_src = np.searchsorted(merged_ids, g_src[keep])
+    l_dst = np.searchsorted(merged_ids, g_dst[keep])
+
+    targets = np.unique(np.concatenate([f.target_ids for f in features]))
+    merged = GraphFeature(
+        targets,
+        merged_ids,
+        merged_x,
+        merged_hops,
+        l_src,
+        l_dst,
+        None if g_ef is None else g_ef[keep],
+        g_w[keep],
+    )
+    return merged.sorted_by_destination()

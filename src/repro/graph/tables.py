@@ -1,0 +1,194 @@
+"""Columnar node/edge tables — the raw input format of GraphFlat.
+
+The paper (§3.2.1) assumes two inputs: a *node table* of ``(node id, node
+feature)`` rows and an *edge table* of ``(source id, destination id, edge
+feature)`` rows, both living on a distributed file system.  These classes are
+the in-memory columnar form of those tables; ``repro.datasets.io`` reads and
+writes them as TSV files so the MapReduce pipelines can stream them.
+
+Node ids are arbitrary ``int64`` values (not required to be contiguous): in
+industrial graphs ids are hashes.  All structural algorithms work on
+positional indices obtained through :meth:`NodeTable.index_of`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NodeTable", "EdgeTable"]
+
+
+def _as_2d_float32(arr, n_rows: int, what: str) -> np.ndarray:
+    out = np.asarray(arr, dtype=np.float32)
+    if out.ndim == 1:
+        out = out.reshape(n_rows, -1) if n_rows else out.reshape(0, 1)
+    if out.ndim != 2:
+        raise ValueError(f"{what} must be 2-D, got shape {out.shape}")
+    if out.shape[0] != n_rows:
+        raise ValueError(f"{what} has {out.shape[0]} rows, expected {n_rows}")
+    return out
+
+
+@dataclass
+class NodeTable:
+    """Columnar table of nodes: ids, dense features and optional labels.
+
+    Attributes
+    ----------
+    ids:
+        ``(n,) int64`` — unique node identifiers.
+    features:
+        ``(n, fn) float32`` — node feature matrix (``X`` in the paper).
+    labels:
+        optional ``(n,)`` int64 class ids for single-label tasks or
+        ``(n, c) float32`` indicator matrix for multi-label tasks (PPI).
+        ``-1`` in the int form means "unlabeled".
+    """
+
+    ids: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray | None = None
+    _pos: dict[int, int] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        if self.ids.ndim != 1:
+            raise ValueError(f"node ids must be 1-D, got shape {self.ids.shape}")
+        self.features = _as_2d_float32(self.features, len(self.ids), "node features")
+        if len(np.unique(self.ids)) != len(self.ids):
+            raise ValueError("node ids contain duplicates")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels)
+            if self.labels.shape[0] != len(self.ids):
+                raise ValueError(
+                    f"labels have {self.labels.shape[0]} rows, expected {len(self.ids)}"
+                )
+        self._pos = {int(i): p for p, i in enumerate(self.ids)}
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    def index_of(self, node_ids) -> np.ndarray:
+        """Positional indices of ``node_ids`` (vectorised; KeyError if absent)."""
+        node_ids = np.atleast_1d(np.asarray(node_ids, dtype=np.int64))
+        try:
+            return np.fromiter(
+                (self._pos[int(i)] for i in node_ids), dtype=np.int64, count=len(node_ids)
+            )
+        except KeyError as exc:  # re-raise with context
+            raise KeyError(f"node id {exc.args[0]} not in table") from None
+
+    def __contains__(self, node_id: int) -> bool:
+        return int(node_id) in self._pos
+
+    def feature_of(self, node_id: int) -> np.ndarray:
+        return self.features[self._pos[int(node_id)]]
+
+    def rows(self):
+        """Iterate ``(id, feature_vector, label_or_None)`` — mapper input."""
+        for p, i in enumerate(self.ids):
+            label = None if self.labels is None else self.labels[p]
+            yield int(i), self.features[p], label
+
+    def select(self, positions) -> "NodeTable":
+        """New table with only the rows at ``positions`` (keeps id values)."""
+        positions = np.asarray(positions, dtype=np.int64)
+        labels = None if self.labels is None else self.labels[positions]
+        return NodeTable(self.ids[positions], self.features[positions], labels)
+
+
+@dataclass
+class EdgeTable:
+    """Columnar table of directed edges ``src -> dst`` with features/weights.
+
+    ``Av,u > 0`` in the paper means an edge *from u to v*; here an edge row
+    ``(src=u, dst=v)`` is exactly that edge, so ``dst``'s in-edge neighbors
+    are the ``src`` values of rows with that ``dst``.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    features: np.ndarray | None = None
+    weights: np.ndarray | None = None
+
+    def __post_init__(self):
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError(
+                f"src/dst must be equal-length 1-D arrays, got {self.src.shape} / {self.dst.shape}"
+            )
+        if self.features is not None:
+            self.features = _as_2d_float32(self.features, len(self.src), "edge features")
+        if self.weights is None:
+            self.weights = np.ones(len(self.src), dtype=np.float32)
+        else:
+            self.weights = np.asarray(self.weights, dtype=np.float32)
+            if self.weights.shape != self.src.shape:
+                raise ValueError("edge weights must align with src/dst")
+            if np.any(self.weights <= 0):
+                raise ValueError("edge weights must be positive (A_{v,u} > 0)")
+
+    def __len__(self) -> int:
+        return len(self.src)
+
+    @property
+    def feature_dim(self) -> int:
+        return 0 if self.features is None else self.features.shape[1]
+
+    def rows(self):
+        """Iterate ``(src, dst, feature_or_None, weight)`` — mapper input."""
+        for p in range(len(self.src)):
+            feat = None if self.features is None else self.features[p]
+            yield int(self.src[p]), int(self.dst[p]), feat, float(self.weights[p])
+
+    def select(self, positions) -> "EdgeTable":
+        positions = np.asarray(positions, dtype=np.int64)
+        feats = None if self.features is None else self.features[positions]
+        return EdgeTable(self.src[positions], self.dst[positions], feats, self.weights[positions])
+
+    def coalesce(self) -> "EdgeTable":
+        """Collapse duplicate ``(src, dst)`` rows into one edge.
+
+        The paper's ``A_{v,u}`` is a single weighted matrix entry, so
+        parallel edges are summed into one weight (interaction counts add);
+        the first occurrence's feature vector is kept.  GraphFlat and
+        GraphInfer coalesce their input so both pipelines see the identical
+        adjacency — a prerequisite for the unbiased-inference guarantee.
+        """
+        if len(self.src) == 0:
+            return self
+        pair = np.stack([self.src, self.dst], axis=1)
+        unique_pair, first_idx, inverse = np.unique(
+            pair, axis=0, return_index=True, return_inverse=True
+        )
+        if len(unique_pair) == len(self.src):
+            return self
+        weights = np.zeros(len(unique_pair), dtype=np.float32)
+        np.add.at(weights, inverse, self.weights)
+        feats = None if self.features is None else self.features[first_idx]
+        return EdgeTable(unique_pair[:, 0], unique_pair[:, 1], feats, weights)
+
+    @staticmethod
+    def symmetrize(table: "EdgeTable") -> "EdgeTable":
+        """Treat an undirected edge list as directed: add the reversed copy.
+
+        The paper decomposes each undirected edge ``(v, u)`` into two directed
+        edges with the same edge feature (§2.1).  Existing direction
+        duplicates are kept — weights express multiplicity.
+        """
+        feats = None
+        if table.features is not None:
+            feats = np.concatenate([table.features, table.features], axis=0)
+        return EdgeTable(
+            np.concatenate([table.src, table.dst]),
+            np.concatenate([table.dst, table.src]),
+            feats,
+            np.concatenate([table.weights, table.weights]),
+        )

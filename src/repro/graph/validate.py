@@ -1,0 +1,71 @@
+"""Structural validation for graphs and raw tables.
+
+Industrial pipelines ingest tables produced by upstream jobs; silent
+corruption (edges referencing missing nodes, NaN features, non-positive
+weights) surfaces as mysteriously bad models.  These checks fail fast with
+actionable messages and are run by GraphFlat before the Map phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.attributed import AttributedGraph
+from repro.graph.tables import EdgeTable, NodeTable
+
+__all__ = ["GraphValidationError", "validate_tables", "validate_graph"]
+
+
+class GraphValidationError(ValueError):
+    """Raised when a node/edge table pair is structurally inconsistent."""
+
+
+def validate_tables(nodes: NodeTable, edges: EdgeTable) -> None:
+    """Check the node/edge table pair GraphFlat is about to consume.
+
+    Raises :class:`GraphValidationError` listing every violated property
+    (all checks run; errors are aggregated so one pass reports everything).
+    """
+    problems: list[str] = []
+
+    if not np.isfinite(nodes.features).all():
+        bad = int(np.count_nonzero(~np.isfinite(nodes.features).all(axis=1)))
+        problems.append(f"{bad} node feature rows contain NaN/Inf")
+
+    known = set(int(i) for i in nodes.ids)
+    missing_src = [int(s) for s in np.unique(edges.src) if int(s) not in known]
+    missing_dst = [int(d) for d in np.unique(edges.dst) if int(d) not in known]
+    if missing_src:
+        problems.append(
+            f"{len(missing_src)} edge source ids missing from node table "
+            f"(e.g. {missing_src[:5]})"
+        )
+    if missing_dst:
+        problems.append(
+            f"{len(missing_dst)} edge destination ids missing from node table "
+            f"(e.g. {missing_dst[:5]})"
+        )
+
+    if edges.features is not None and not np.isfinite(edges.features).all():
+        bad = int(np.count_nonzero(~np.isfinite(edges.features).all(axis=1)))
+        problems.append(f"{bad} edge feature rows contain NaN/Inf")
+
+    if np.any(edges.weights <= 0) or not np.isfinite(edges.weights).all():
+        problems.append("edge weights must be finite and positive")
+
+    if problems:
+        raise GraphValidationError("; ".join(problems))
+
+
+def validate_graph(graph: AttributedGraph) -> None:
+    """Validate an already-built in-memory graph (baseline path)."""
+    validate_tables(graph.nodes, graph.edges)
+    # CSR internal consistency
+    in_ptr, in_src, _ = graph.in_csr
+    out_ptr, out_dst, _ = graph.out_csr
+    if in_ptr[-1] != graph.num_edges or out_ptr[-1] != graph.num_edges:
+        raise GraphValidationError("CSR pointer totals disagree with edge count")
+    if len(in_src) != graph.num_edges or len(out_dst) != graph.num_edges:
+        raise GraphValidationError("CSR index arrays disagree with edge count")
+    if np.any(np.diff(in_ptr) < 0) or np.any(np.diff(out_ptr) < 0):
+        raise GraphValidationError("CSR pointers must be non-decreasing")

@@ -1,0 +1,33 @@
+"""Local MapReduce runtime — substrate **S3** (Dean & Ghemawat stand-in).
+
+AGL's GraphFlat and GraphInfer are "simply implemented using MapReduce" so
+they inherit the infrastructure's fault tolerance and scalability (§1, §3.1).
+This package reproduces the programming contract those pipelines rely on:
+
+* ``MapReduceJob`` — mapper / optional combiner / reducer over key-value
+  pairs, with a deterministic hash partitioner;
+* ``LocalRuntime`` — serial and thread-pool backends, multi-round chaining,
+  optional disk spill of shuffle partitions (out-of-core operation);
+* ``FailureInjector`` — injects worker failures so tests can assert that
+  task re-execution produces byte-identical output (the fault-tolerance
+  property the paper gets for free from mature infrastructure);
+* ``DistFileSystem`` — a directory-backed stand-in for the cluster DFS that
+  stores GraphFlat's sharded outputs.
+"""
+
+from repro.mapreduce.job import JobFailedError, MapReduceJob
+from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
+from repro.mapreduce.fs import DistFileSystem
+from repro.mapreduce.shuffle import default_partition, key_bytes
+
+__all__ = [
+    "MapReduceJob",
+    "JobFailedError",
+    "LocalRuntime",
+    "FailureInjector",
+    "InjectedWorkerFailure",
+    "DistFileSystem",
+    "default_partition",
+    "key_bytes",
+]

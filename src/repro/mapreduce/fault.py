@@ -1,0 +1,70 @@
+"""Worker-failure injection for the MapReduce runtime.
+
+The paper's pitch for building on MapReduce is that fault tolerance comes
+for free: a failed task is simply re-executed and, because tasks are
+deterministic functions of their input partition, the job output is
+unchanged.  This module makes that property *testable* — the injector
+deterministically kills a configurable fraction of task attempts, and the
+test suite asserts byte-identical output with and without injection.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.utils.rng import new_rng
+
+__all__ = ["InjectedWorkerFailure", "FailureInjector"]
+
+
+class InjectedWorkerFailure(RuntimeError):
+    """Simulated crash of a map/reduce task attempt."""
+
+
+class FailureInjector:
+    """Deterministically fail task attempts.
+
+    ``rate`` is the probability that any given *attempt* fails.  Failures
+    are sampled from a seeded stream keyed by ``(job, task, attempt)`` so a
+    retried attempt of the same task gets an independent draw, and the whole
+    schedule is reproducible.  ``max_failures`` caps total injected failures
+    (so a high rate cannot starve a job forever in tests).
+    """
+
+    def __init__(self, rate: float, seed: int | None = 0, max_failures: int | None = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"failure rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self._seed = 0 if seed is None else int(seed)
+        self.max_failures = max_failures
+        self.injected = 0
+        self._lock = threading.Lock()
+
+    def _draw(self, job_name: str, task_id: str, attempt: int) -> float:
+        # Key an independent generator off the task coordinates so the
+        # schedule does not depend on execution order (threads!).
+        material = f"{self._seed}|{job_name}|{task_id}|{attempt}".encode()
+        digest = np.frombuffer(material.ljust(32, b"\0")[:32], dtype=np.uint32)
+        rng = new_rng(np.random.SeedSequence(entropy=digest.tolist()))
+        return float(rng.random())
+
+    def should_fail(self, job_name: str, task_id: str, attempt: int) -> bool:
+        """Whether this attempt should be killed (and count it if so)."""
+        if self.rate == 0.0:
+            return False
+        if self._draw(job_name, task_id, attempt) < self.rate:
+            with self._lock:
+                if self.max_failures is not None and self.injected >= self.max_failures:
+                    return False
+                self.injected += 1
+            return True
+        return False
+
+    def maybe_fail(self, job_name: str, task_id: str, attempt: int) -> None:
+        """Raise :class:`InjectedWorkerFailure` if this attempt is sampled."""
+        if self.should_fail(job_name, task_id, attempt):
+            raise InjectedWorkerFailure(
+                f"injected failure: job={job_name} task={task_id} attempt={attempt}"
+            )

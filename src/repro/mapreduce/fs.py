@@ -1,0 +1,102 @@
+"""Directory-backed stand-in for the cluster distributed file system.
+
+GraphFlat's output ("flattened to protobuf strings and stored on a
+distributed file system", §3.2.1) and GraphInfer's inputs/outputs live here.
+The abstraction is deliberately thin — named sharded datasets of framed byte
+records — because that is all the paper's pipelines require of the real DFS.
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.proto.stream import read_records, write_records
+
+__all__ = ["DistFileSystem"]
+
+
+class DistFileSystem:
+    """Sharded record datasets rooted at a local directory.
+
+    A *dataset* is a directory of ``part-NNNNN`` files, each a framed record
+    stream (see ``repro.proto.stream``).  Shards are the unit of parallelism
+    for downstream consumers (training workers read disjoint shard subsets).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _dataset_dir(self, name: str) -> Path:
+        if not name or name.startswith("/") or ".." in name:
+            raise ValueError(f"bad dataset name {name!r}")
+        return self.root / name
+
+    # -------------------------------------------------------------- writing
+    def write_dataset(self, name: str, records: Iterable[bytes], num_shards: int = 1) -> int:
+        """Write ``records`` round-robin into ``num_shards`` part files.
+
+        Returns the record count.  Overwrites any existing dataset of the
+        same name (jobs are idempotent: re-running a failed job replaces
+        partial output, like a MapReduce output-commit).
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        directory = self._dataset_dir(name)
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+        buckets: list[list[bytes]] = [[] for _ in range(num_shards)]
+        count = 0
+        for record in records:
+            buckets[count % num_shards].append(record)
+            count += 1
+        for shard, bucket in enumerate(buckets):
+            write_records(directory / f"part-{shard:05d}", bucket)
+        return count
+
+    # -------------------------------------------------------------- reading
+    def shards(self, name: str) -> list[Path]:
+        """Sorted shard paths of a dataset (raises if absent)."""
+        directory = self._dataset_dir(name)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"dataset {name!r} not found under {self.root}")
+        return sorted(directory.glob("part-*"))
+
+    def read_dataset(self, name: str) -> Iterator[bytes]:
+        """Yield every record of every shard, shard order then record order."""
+        for shard in self.shards(name):
+            yield from read_records(shard)
+
+    def read_shard(self, name: str, shard_index: int) -> Iterator[bytes]:
+        shards = self.shards(name)
+        if not 0 <= shard_index < len(shards):
+            raise IndexError(f"dataset {name!r} has {len(shards)} shards")
+        yield from read_records(shards[shard_index])
+
+    # ------------------------------------------------------------- metadata
+    def exists(self, name: str) -> bool:
+        return self._dataset_dir(name).is_dir()
+
+    def num_shards(self, name: str) -> int:
+        return len(self.shards(name))
+
+    def count_records(self, name: str) -> int:
+        return sum(1 for _ in self.read_dataset(name))
+
+    def size_bytes(self, name: str) -> int:
+        return sum(p.stat().st_size for p in self.shards(name))
+
+    def delete(self, name: str) -> None:
+        directory = self._dataset_dir(name)
+        if directory.exists():
+            shutil.rmtree(directory)
+
+    def list_datasets(self) -> list[str]:
+        return sorted(
+            str(p.relative_to(self.root))
+            for p in self.root.rglob("*")
+            if p.is_dir() and any(child.name.startswith("part-") for child in p.iterdir())
+        )

@@ -1,0 +1,233 @@
+"""Execution engine for :class:`~repro.mapreduce.job.MapReduceJob`.
+
+Backends:
+
+* ``"serial"`` — everything in the calling thread; the reference semantics.
+* ``"threads"`` — map and reduce tasks on a thread pool.  Output is
+  position-ordered (task index, not completion order) so results are
+  deterministic and byte-identical to the serial backend.
+
+Fault tolerance: each task runs in an attempt loop.  An injected (or real)
+failure discards the attempt's output and re-executes the task, mirroring
+MapReduce's re-execution model.  Because tasks are pure functions of their
+input partition, retries cannot change job output — tests assert this.
+
+Shuffle spill: with ``spill_dir`` set, shuffle partitions are pickled to disk
+between the map and reduce phases instead of being handed over in memory.
+This is how the pipeline stays out-of-core for graphs whose intermediate
+k-hop state exceeds RAM.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
+from repro.mapreduce.job import JobFailedError, MapReduceJob
+from repro.mapreduce.shuffle import group_sorted
+
+__all__ = ["LocalRuntime", "RunStats"]
+
+
+@dataclass
+class RunStats:
+    """Counters from the most recent job execution."""
+
+    job: str = ""
+    input_records: int = 0
+    mapped_records: int = 0
+    combined_records: int = 0
+    shuffled_records: int = 0
+    reduced_records: int = 0
+    map_attempts: int = 0
+    reduce_attempts: int = 0
+    injected_failures: int = 0
+    reducer_group_sizes: dict[int, int] = field(default_factory=dict)
+    """partition -> number of (key, values) groups — load-balance evidence."""
+    max_group_values: int = 0
+    """Largest single reduce group (values under one key) seen in the round —
+    the quantity hub re-indexing exists to bound (§3.2.2)."""
+
+    def merge(self, other: "RunStats") -> None:
+        self.input_records += other.input_records
+        self.mapped_records += other.mapped_records
+        self.combined_records += other.combined_records
+        self.shuffled_records += other.shuffled_records
+        self.reduced_records += other.reduced_records
+        self.map_attempts += other.map_attempts
+        self.reduce_attempts += other.reduce_attempts
+        self.injected_failures += other.injected_failures
+        self.max_group_values = max(self.max_group_values, other.max_group_values)
+
+
+def _chunk(seq: list, n: int) -> list[list]:
+    """Split ``seq`` into ``n`` contiguous chunks (some possibly empty)."""
+    if n <= 0:
+        raise ValueError("need at least one chunk")
+    size, extra = divmod(len(seq), n)
+    chunks, start = [], 0
+    for i in range(n):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(seq[start:end])
+        start = end
+    return chunks
+
+
+class LocalRuntime:
+    """Runs MapReduce jobs locally with retries and optional disk spill."""
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        max_attempts: int = 3,
+        failure_injector: FailureInjector | None = None,
+        spill_dir: str | Path | None = None,
+    ):
+        if backend not in ("serial", "threads"):
+            raise ValueError(f"unknown backend {backend!r}")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.backend = backend
+        self.max_workers = max_workers
+        self.max_attempts = max_attempts
+        self.injector = failure_injector
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.last_stats: RunStats | None = None
+
+    # ------------------------------------------------------------------ api
+    def run(self, job: MapReduceJob, inputs: Iterable[tuple]) -> list[tuple]:
+        """Execute one round; returns the reducer output pairs, ordered by
+        (reduce partition, key order within partition)."""
+        pairs = list(inputs)
+        stats = RunStats(job=job.name, input_records=len(pairs))
+
+        map_outputs = self._map_phase(job, pairs, stats)
+        partitions = self._shuffle(job, map_outputs, stats)
+        output = self._reduce_phase(job, partitions, stats)
+
+        if self.injector is not None:
+            stats.injected_failures = self.injector.injected
+        self.last_stats = stats
+        return output
+
+    def run_rounds(self, jobs: list[MapReduceJob], inputs: Iterable[tuple]) -> list[tuple]:
+        """Chain rounds: round i+1 consumes round i's output (GraphFlat's
+        'Reduce phase runs K times' is exactly this chaining)."""
+        data = list(inputs)
+        merged = RunStats(job="+".join(j.name for j in jobs))
+        for job in jobs:
+            data = self.run(job, data)
+            assert self.last_stats is not None
+            merged.merge(self.last_stats)
+        self.last_stats = merged
+        return data
+
+    # ------------------------------------------------------------ internals
+    def _attempts(self, job_name: str, task_id: str, body):
+        """Run ``body()`` with the retry loop; count attempts via return."""
+        last_exc: Exception | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                if self.injector is not None:
+                    # Simulate a crash mid-task: the attempt produces nothing.
+                    self.injector.maybe_fail(job_name, task_id, attempt)
+                return body(), attempt + 1
+            except InjectedWorkerFailure as exc:
+                last_exc = exc
+                continue
+        raise JobFailedError(
+            f"task {task_id} of job {job_name!r} failed {self.max_attempts} attempts"
+        ) from last_exc
+
+    def _map_phase(self, job: MapReduceJob, pairs: list[tuple], stats: RunStats):
+        chunks = _chunk(pairs, job.effective_mappers)
+
+        def map_task(task_index: int):
+            out: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+            mapped = 0
+            for key, value in chunks[task_index]:
+                for out_key, out_value in job.mapper(key, value):
+                    out[job.partitioner(out_key, job.num_reducers)].append((out_key, out_value))
+                    mapped += 1
+            combined = 0
+            if job.combiner is not None:
+                for p in range(job.num_reducers):
+                    squeezed: list[tuple] = []
+                    for k, values in group_sorted(out[p]):
+                        squeezed.extend(job.combiner(k, values))
+                    out[p] = squeezed
+                    combined += len(squeezed)
+            return out, mapped, combined
+
+        results = self._execute(
+            job.name, [(f"map-{i}", lambda i=i: map_task(i)) for i in range(len(chunks))]
+        )
+        map_outputs = []
+        for (buckets, mapped, combined), attempts in results:
+            map_outputs.append(buckets)
+            stats.mapped_records += mapped
+            stats.combined_records += combined
+            stats.map_attempts += attempts
+        return map_outputs
+
+    def _shuffle(self, job: MapReduceJob, map_outputs, stats: RunStats):
+        partitions: list[list[tuple]] = []
+        for p in range(job.num_reducers):
+            part: list[tuple] = []
+            for buckets in map_outputs:
+                part.extend(buckets[p])
+            stats.shuffled_records += len(part)
+            partitions.append(part)
+
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            spilled = []
+            for p, part in enumerate(partitions):
+                path = self.spill_dir / f"{job.name}.shuffle.{p:05d}.pkl"
+                with open(path, "wb") as fh:
+                    pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                spilled.append(path)
+            partitions = []
+            for path in spilled:
+                with open(path, "rb") as fh:
+                    partitions.append(pickle.load(fh))
+                path.unlink()
+        return partitions
+
+    def _reduce_phase(self, job: MapReduceJob, partitions, stats: RunStats):
+        def reduce_task(p: int):
+            groups = group_sorted(partitions[p])
+            out: list[tuple] = []
+            biggest = 0
+            for key, values in groups:
+                biggest = max(biggest, len(values))
+                out.extend(job.reducer(key, values))
+            return out, len(groups), biggest
+
+        results = self._execute(
+            job.name,
+            [(f"reduce-{p}", lambda p=p: reduce_task(p)) for p in range(len(partitions))],
+        )
+        output: list[tuple] = []
+        for p, ((pairs, groups, biggest), attempts) in enumerate(results):
+            output.extend(pairs)
+            stats.reduced_records += len(pairs)
+            stats.reduce_attempts += attempts
+            stats.reducer_group_sizes[p] = groups
+            stats.max_group_values = max(stats.max_group_values, biggest)
+        return output
+
+    def _execute(self, job_name: str, tasks: list[tuple[str, object]]):
+        """Run ``(task_id, thunk)`` tasks under the retry loop; ordered results."""
+        if self.backend == "serial" or len(tasks) <= 1:
+            return [self._attempts(job_name, tid, thunk) for tid, thunk in tasks]
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                pool.submit(self._attempts, job_name, tid, thunk) for tid, thunk in tasks
+            ]
+            return [f.result() for f in futures]

@@ -1,0 +1,35 @@
+"""numpy autograd engine + neural-network toolkit — substrate **S5**.
+
+The paper trains GNNs with TensorFlow-style kernels; offline we rebuild the
+minimum viable tensor framework: a reverse-mode automatic-differentiation
+``Tensor``, the dense and graph-segment operators GNNs need, ``Module`` /
+``Parameter`` containers, initializers, losses and optimizers.  Gradients of
+every op are verified against central finite differences in the test suite.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn import ops
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dense, Dropout
+from repro.nn.loss import bce_with_logits_loss, l2_regularization, softmax_cross_entropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "Dropout",
+    "softmax_cross_entropy",
+    "bce_with_logits_loss",
+    "l2_regularization",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "init",
+]

@@ -1,0 +1,39 @@
+"""GNN layers and models (GCN, GraphSAGE, GAT) — substrate **S6**.
+
+Every layer implements the paper's Equation 1 twice, against the same
+parameters:
+
+* ``forward(h, block)`` — the batched matrix form used by GraphTrainer
+  (Equation 2/3), built on the autograd segment ops;
+* ``infer_node(self_h, neigh_h, neigh_weight, edge_feat)`` — the per-node
+  message-passing form used by GraphInfer's reducers (§3.4), plain numpy.
+
+An integration test asserts the two forms agree to float tolerance, which is
+the paper's "unbiased inference" property.
+"""
+
+from repro.nn.gnn.block import BatchInputs, EdgeBlock
+from repro.nn.gnn.base import GNNLayer, GNNModel
+from repro.nn.gnn.gcn import GCNLayer, GCNModel
+from repro.nn.gnn.sage import GraphSAGELayer, GraphSAGEModel
+from repro.nn.gnn.gat import GATLayer, GATModel
+from repro.nn.gnn.geniepath import GeniePathLayer, GeniePathModel
+from repro.nn.gnn.registry import build_layer, build_model, MODEL_REGISTRY
+
+__all__ = [
+    "EdgeBlock",
+    "BatchInputs",
+    "GNNLayer",
+    "GNNModel",
+    "GCNLayer",
+    "GCNModel",
+    "GraphSAGELayer",
+    "GraphSAGEModel",
+    "GATLayer",
+    "GATModel",
+    "GeniePathLayer",
+    "GeniePathModel",
+    "build_layer",
+    "build_model",
+    "MODEL_REGISTRY",
+]

@@ -1,0 +1,119 @@
+"""``EdgeBlock`` — the vectorized adjacency a GNN layer consumes.
+
+This is the in-model form of the paper's three matrices (§3.3.1): the sparse
+adjacency ``A_B`` (as destination-sorted COO plus weights), with ``X_B`` and
+``E_B`` carried alongside by :class:`BatchInputs`.  Edges **must** be sorted
+by destination: that is the contract that makes edge partitioning (§3.3.2)
+conflict-free, and the partitioned aggregation backend relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["EdgeBlock", "BatchInputs"]
+
+
+@dataclass
+class EdgeBlock:
+    """Destination-sorted sparse adjacency over ``num_nodes`` local nodes.
+
+    ``aggregator`` is an optional segment-sum forward backend (see
+    ``repro.nn.ops.segment_sum``); ``None`` selects the generic scatter-add.
+    GraphTrainer's edge-partitioning strategy installs its optimized backend
+    here — model code never changes.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    num_nodes: int
+    weight: np.ndarray | None = None
+    edge_feat: np.ndarray | None = None
+    aggregator: object | None = None
+    _self_loop_cache: "EdgeBlock | None" = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        self.src = np.asarray(self.src, dtype=np.int64)
+        self.dst = np.asarray(self.dst, dtype=np.int64)
+        if self.src.shape != self.dst.shape or self.src.ndim != 1:
+            raise ValueError("src/dst must be aligned 1-D arrays")
+        if self.weight is None:
+            self.weight = np.ones(len(self.src), dtype=np.float32)
+        else:
+            self.weight = np.asarray(self.weight, dtype=np.float32)
+        if len(self.dst) and np.any(np.diff(self.dst) < 0):
+            raise ValueError("EdgeBlock edges must be sorted by destination")
+        if len(self.src) and (
+            self.src.max() >= self.num_nodes or self.dst.max() >= self.num_nodes
+        ):
+            raise ValueError("edge endpoint out of range")
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.src)
+
+    def with_self_loops(self) -> "EdgeBlock":
+        """Block with ``v -> v`` edges added for every node, re-sorted by
+        destination (GAT attends over ``{v} ∪ N+(v)``).  Cached: the result
+        is reused across layers/epochs.  Self-loop weight is 1, self-loop
+        edge features are zero."""
+        if self._self_loop_cache is not None:
+            return self._self_loop_cache
+        loops = np.arange(self.num_nodes, dtype=np.int64)
+        src = np.concatenate([self.src, loops])
+        dst = np.concatenate([self.dst, loops])
+        weight = np.concatenate([self.weight, np.ones(self.num_nodes, dtype=np.float32)])
+        edge_feat = None
+        if self.edge_feat is not None:
+            edge_feat = np.concatenate(
+                [self.edge_feat, np.zeros((self.num_nodes, self.edge_feat.shape[1]), np.float32)]
+            )
+        order = np.argsort(dst, kind="stable")
+        block = EdgeBlock(
+            src[order],
+            dst[order],
+            self.num_nodes,
+            weight[order],
+            None if edge_feat is None else edge_feat[order],
+            self.aggregator,
+        )
+        # Layout-bound aggregators (edge partitioning) must be rebuilt for
+        # the augmented edge list; stateless backends pass through.
+        if hasattr(block.aggregator, "rebind"):
+            block.aggregator = block.aggregator.rebind(block)
+        self._self_loop_cache = block
+        return block
+
+    def in_degree_weights(self) -> np.ndarray:
+        """Total in-edge weight per destination node (``(num_nodes,)``)."""
+        deg = np.zeros(self.num_nodes, dtype=np.float32)
+        np.add.at(deg, self.dst, self.weight)
+        return deg
+
+
+@dataclass
+class BatchInputs:
+    """Everything a model's batched forward needs (§3.3.1's three matrices).
+
+    ``layer_blocks[k]`` is the (possibly pruned, §3.3.2) adjacency used by
+    layer ``k``; without pruning all entries alias one block.  ``x`` is
+    ``X_B``; per-edge features ``E_B`` ride inside the blocks.
+    """
+
+    x: np.ndarray
+    target_index: np.ndarray
+    layer_blocks: list[EdgeBlock]
+
+    def block_for_layer(self, k: int) -> EdgeBlock:
+        if not self.layer_blocks:
+            raise ValueError("batch has no adjacency blocks")
+        if k < 0:
+            raise IndexError("layer index must be non-negative")
+        # Models deeper than the pruning schedule reuse the last block.
+        return self.layer_blocks[min(k, len(self.layer_blocks) - 1)]
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]

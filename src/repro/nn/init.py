@@ -1,0 +1,55 @@
+"""Weight initializers (Glorot/Xavier, Kaiming/He, constants).
+
+All take an explicit ``numpy.random.Generator`` — reproducible experiments
+need seedable initialisation, and the PS workers must be able to agree on
+the initial model (worker 0 initialises, others pull).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "kaiming_uniform", "zeros", "ones", "constant"]
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer needs at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return shape[0] * receptive, shape[1] * receptive
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot & Bengio (2010) uniform: U(-a, a), a = gain * sqrt(6/(fi+fo))."""
+    fan_in, fan_out = _fans(tuple(shape))
+    a = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal: N(0, gain^2 * 2/(fan_in+fan_out))."""
+    fan_in, fan_out = _fans(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(size=shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, negative_slope: float = 0.0) -> np.ndarray:
+    """He et al. (2015) uniform, for ReLU-family activations."""
+    fan_in, _ = _fans(tuple(shape))
+    gain = np.sqrt(2.0 / (1.0 + negative_slope**2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def constant(shape, value: float) -> np.ndarray:
+    return np.full(shape, value, dtype=np.float32)

@@ -1,0 +1,67 @@
+"""Generic dense layers shared by every GNN model and the prediction head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init, ops
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.utils.rng import new_rng
+
+__all__ = ["Dense", "Dropout"]
+
+_ACTIVATIONS = {
+    None: lambda x: x,
+    "relu": ops.relu,
+    "elu": ops.elu,
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "leaky_relu": ops.leaky_relu,
+}
+
+
+class Dense(Module):
+    """Affine layer ``y = act(x W + b)``.
+
+    ``activation`` is one of ``None | "relu" | "elu" | "tanh" | "sigmoid" |
+    "leaky_relu"`` — string-keyed so model configs stay serialisable.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str | None = None,
+        use_bias: bool = True,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        rng = new_rng(seed)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        self.weight = Parameter(init.xavier_uniform((in_dim, out_dim), rng), name="weight")
+        self.bias = Parameter(init.zeros(out_dim), name="bias") if use_bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return _ACTIVATIONS[self.activation](out)
+
+
+class Dropout(Module):
+    """Module wrapper over :func:`repro.nn.ops.dropout` with its own RNG."""
+
+    def __init__(self, p: float, seed: int | np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = new_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self._rng, training=self.training)

@@ -1,0 +1,59 @@
+"""Loss functions for the paper's three tasks.
+
+* ``softmax_cross_entropy`` — single-label node classification (Cora, UUG);
+* ``bce_with_logits_loss`` — multi-label classification (PPI's 121 labels);
+* ``l2_regularization`` — weight decay as an explicit loss term (the Cora
+  GCN/GAT recipes use L2 on the first layer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor
+
+__all__ = ["softmax_cross_entropy", "bce_with_logits_loss", "l2_regularization"]
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits (n, c)`` and int ``labels (n,)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (n, classes), got {logits.shape}")
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} does not match {n} logit rows")
+    if len(labels) and (labels.min() < 0 or labels.max() >= c):
+        raise ValueError("label id out of range")
+    log_probs = ops.log_softmax(logits, axis=-1)
+    onehot = np.zeros((n, c), dtype=np.float32)
+    onehot[np.arange(n), labels] = 1.0
+    picked = (log_probs * Tensor(onehot)).sum()
+    return -picked * (1.0 / max(n, 1))
+
+
+def bce_with_logits_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable mean binary cross-entropy over all entries.
+
+    Uses the identity ``BCE(x, t) = max(x, 0) - x t + log(1 + exp(-|x|))``
+    composed from differentiable primitives (|x| = relu(x) + relu(-x)).
+    """
+    targets = np.asarray(targets, dtype=np.float32)
+    if targets.shape != logits.shape:
+        raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
+    t = Tensor(targets)
+    abs_x = ops.relu(logits) + ops.relu(-logits)
+    softplus_neg_abs = ops.log(ops.exp(-abs_x) + Tensor(np.float32(1.0)))
+    per_entry = ops.relu(logits) - logits * t + softplus_neg_abs
+    return per_entry.mean()
+
+
+def l2_regularization(params: list[Tensor], weight: float) -> Tensor:
+    """``weight * sum_i ||p_i||^2`` as a differentiable loss term."""
+    if not params:
+        raise ValueError("no parameters to regularise")
+    total = (params[0] ** 2).sum()
+    for p in params[1:]:
+        total = total + (p**2).sum()
+    return total * weight

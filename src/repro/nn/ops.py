@@ -1,0 +1,334 @@
+"""Differentiable operators: activations, softmax, dropout, and the
+graph-segment ops (gather / segment-sum / segment-max / segment-softmax)
+that GNN aggregation is built from.
+
+The *segment* ops are the performance-critical path of the whole system:
+"aggregate information for each node along its edges in the sparse adjacent
+matrix" (§3.3.2).  ``segment_sum`` therefore accepts a pluggable forward
+``backend`` so GraphTrainer's **edge-partitioning** strategy (destination-
+sorted segment reduction, optionally multi-threaded) can replace the generic
+unbuffered scatter-add without touching any model code.  Backward passes are
+backend-independent (the gradient of a segment sum is a gather).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, unbroadcast
+
+__all__ = [
+    "exp",
+    "log",
+    "sqrt",
+    "clip",
+    "relu",
+    "leaky_relu",
+    "elu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "slice_cols",
+    "concat",
+    "gather_rows",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "segment_softmax",
+    "scatter_add_backend",
+]
+
+
+# --------------------------------------------------------------- elementwise
+def exp(x: Tensor) -> Tensor:
+    out_data = np.exp(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x: Tensor) -> Tensor:
+    out_data = np.log(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad / x.data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sqrt(x: Tensor) -> Tensor:
+    out_data = np.sqrt(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * 0.5 / out_data)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    out_data = np.clip(x.data, low, high)
+    pass_through = ((x.data > low) & (x.data < high)).astype(np.float32)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * pass_through)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    mask = (x.data > 0).astype(np.float32)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    scale = np.where(x.data > 0, np.float32(1.0), np.float32(negative_slope))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * scale)
+
+    return Tensor._make(x.data * scale, (x,), backward)
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    neg = alpha * (np.exp(np.minimum(x.data, 0.0)) - 1.0)
+    out_data = np.where(x.data > 0, x.data, neg).astype(np.float32)
+    deriv = np.where(x.data > 0, np.float32(1.0), (neg + alpha).astype(np.float32))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * deriv)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * out_data * (1.0 - out_data))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def tanh(x: Tensor) -> Tensor:
+    out_data = np.tanh(x.data)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad * (1.0 - out_data**2))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ------------------------------------------------------------------ softmax
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if x.requires_grad:
+            inner = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - inner))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+
+    def backward(grad):
+        if x.requires_grad:
+            soft = np.exp(out_data)
+            x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor._make(out_data.astype(np.float32), (x,), backward)
+
+
+# ------------------------------------------------------------------ dropout
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when ``training`` is false or ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    keep = (rng.random(x.data.shape) >= p).astype(np.float32) / np.float32(1.0 - p)
+    return x * Tensor(keep)
+
+
+def slice_cols(x: Tensor, low: int, high: int) -> Tensor:
+    """Column slice ``x[:, low:high]``; grad zero-pads the complement.
+
+    Used by models that pack several per-node states into one matrix (e.g.
+    GeniePath's ``[h || C]`` LSTM state, which must ride through GraphInfer
+    as a single embedding vector)."""
+    if x.data.ndim != 2:
+        raise ValueError("slice_cols expects a 2-D tensor")
+    if not 0 <= low <= high <= x.data.shape[1]:
+        raise ValueError(f"bad column range [{low}, {high}) for {x.data.shape}")
+    out_data = x.data[:, low:high].copy()
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            gx[:, low:high] = grad
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+# ------------------------------------------------------------------- concat
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    if not tensors:
+        raise ValueError("concat of zero tensors")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+# -------------------------------------------------------------- graph ops --
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``x[indices]`` (axis 0); grad scatters back with ``add.at``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = x.data[indices]
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            np.add.at(gx, indices, grad)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def scatter_add_backend(values: np.ndarray, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    """Reference segment-sum forward: unbuffered ``np.add.at`` scatter.
+
+    This is the *unoptimized* aggregator AGL_base uses in Table 4; the
+    edge-partitioned aggregator in ``repro.core.trainer.partition`` is the
+    optimized drop-in.
+    """
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, segment_ids, values)
+    return out
+
+
+def segment_sum(
+    values: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    backend=None,
+) -> Tensor:
+    """Sum ``values`` rows into ``num_segments`` buckets by ``segment_ids``.
+
+    ``backend(values_np, segment_ids, num_segments) -> np.ndarray`` computes
+    the forward; the backward is always ``grad[segment_ids]`` (a gather), so
+    swapping backends cannot change training semantics — only speed.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or len(segment_ids) != values.data.shape[0]:
+        raise ValueError("segment_ids must be 1-D and aligned with values rows")
+    if len(segment_ids) and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    forward = backend if backend is not None else scatter_add_backend
+    out_data = forward(values.data, segment_ids, num_segments)
+
+    def backward(grad):
+        if values.requires_grad:
+            values._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_mean(
+    values: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    backend=None,
+) -> Tensor:
+    """Segment average; empty segments yield zeros (count clamped to 1)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float32)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (values.data.ndim - 1))
+    total = segment_sum(values, segment_ids, num_segments, backend=backend)
+    return total * Tensor(1.0 / counts)
+
+
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment elementwise max (GraphSAGE max-pooling aggregator).
+
+    Empty segments produce zeros.  Gradient is routed to the max-achieving
+    rows; exact ties split the gradient equally (ties have measure zero for
+    continuous activations, so this choice is invisible in practice).
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    tail = values.data.shape[1:]
+    out_data = np.full((num_segments,) + tail, -np.inf, dtype=np.float32)
+    np.maximum.at(out_data, segment_ids, values.data)
+    empty = ~np.isin(np.arange(num_segments), segment_ids)
+    if empty.any():
+        out_data[empty] = 0.0
+
+    def backward(grad):
+        if not values.requires_grad:
+            return
+        winners = (values.data == out_data[segment_ids]).astype(np.float32)
+        # Split gradient across ties so total gradient mass is preserved.
+        tie_count = scatter_add_backend(winners, segment_ids, num_segments)
+        tie_count = np.maximum(tie_count, 1.0)
+        values._accumulate(grad[segment_ids] * winners / tie_count[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_softmax(
+    scores: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    backend=None,
+) -> Tensor:
+    """Softmax over each segment (GAT attention normalisation, per head).
+
+    ``scores`` has shape ``(num_edges, ...)``; softmax is taken across the
+    rows sharing a segment id, independently per trailing position.  Built
+    by composing differentiable segment primitives, so the backward pass
+    needs no bespoke math.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    # Stabilise: subtract the per-segment running max (constant wrt autograd —
+    # the classic softmax shift-invariance trick).
+    tail = scores.data.shape[1:]
+    seg_max = np.full((num_segments,) + tail, -np.inf, dtype=np.float32)
+    np.maximum.at(seg_max, segment_ids, scores.data)
+    seg_max[~np.isfinite(seg_max)] = 0.0
+    shifted = scores - Tensor(seg_max[segment_ids])
+    exp_scores = exp(shifted)
+    denom = segment_sum(exp_scores, segment_ids, num_segments, backend=backend)
+    denom_edges = gather_rows(denom, segment_ids)
+    return exp_scores / denom_edges

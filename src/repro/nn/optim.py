@@ -1,0 +1,143 @@
+"""Optimizers, factored so the math is shared by two call sites.
+
+The *stateless update rules* (:func:`sgd_update`, :func:`adam_update`)
+operate on plain numpy arrays.  They are used by
+
+* the local :class:`Optimizer` subclasses below (standalone training, the
+  Table 3/4 experiments), and
+* the **server-side** optimizers of ``repro.ps`` — in AGL the model update
+  happens on the parameter servers, so the rules must be expressible without
+  any autograd objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["sgd_update", "adam_update", "AdamState", "Optimizer", "SGD", "Adam"]
+
+
+def sgd_update(
+    value: np.ndarray,
+    grad: np.ndarray,
+    velocity: np.ndarray | None,
+    lr: float,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+) -> np.ndarray | None:
+    """In-place SGD step on ``value``; returns the updated velocity buffer."""
+    if weight_decay:
+        grad = grad + weight_decay * value
+    if momentum:
+        if velocity is None:
+            velocity = np.zeros_like(value)
+        velocity *= momentum
+        velocity += grad
+        value -= lr * velocity
+        return velocity
+    value -= lr * grad
+    return None
+
+
+@dataclass
+class AdamState:
+    """Per-parameter Adam moments (lives on the parameter server in AGL)."""
+
+    m: np.ndarray
+    v: np.ndarray
+    step: int = 0
+
+    @staticmethod
+    def like(value: np.ndarray) -> "AdamState":
+        return AdamState(np.zeros_like(value), np.zeros_like(value))
+
+
+def adam_update(
+    value: np.ndarray,
+    grad: np.ndarray,
+    state: AdamState,
+    lr: float,
+    beta1: float = 0.9,
+    beta2: float = 0.999,
+    eps: float = 1e-8,
+    weight_decay: float = 0.0,
+) -> None:
+    """In-place Adam step (Kingma & Ba 2015), the paper's optimizer (§4.1.2)."""
+    if weight_decay:
+        grad = grad + weight_decay * value
+    state.step += 1
+    state.m *= beta1
+    state.m += (1.0 - beta1) * grad
+    state.v *= beta2
+    state.v += (1.0 - beta2) * grad * grad
+    m_hat = state.m / (1.0 - beta1**state.step)
+    v_hat = state.v / (1.0 - beta2**state.step)
+    value -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+
+@dataclass
+class Optimizer:
+    """Base class: hold parameters, step from their ``.grad`` fields."""
+
+    params: list[Parameter]
+    lr: float
+
+    def __post_init__(self):
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if self.lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {self.lr}")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class SGD(Optimizer):
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    _velocity: dict[int, np.ndarray | None] = field(default_factory=dict)
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            vel = self._velocity.get(id(p))
+            self._velocity[id(p)] = sgd_update(
+                p.data, p.grad, vel, self.lr, self.momentum, self.weight_decay
+            )
+
+
+@dataclass
+class Adam(Optimizer):
+    beta1: float = 0.9
+    beta2: float = 0.999
+    eps: float = 1e-8
+    weight_decay: float = 0.0
+    _state: dict[int, AdamState] = field(default_factory=dict)
+
+    def step(self) -> None:
+        for p in self.params:
+            if p.grad is None:
+                continue
+            state = self._state.get(id(p))
+            if state is None:
+                state = self._state[id(p)] = AdamState.like(p.data)
+            adam_update(
+                p.data,
+                p.grad,
+                state,
+                self.lr,
+                self.beta1,
+                self.beta2,
+                self.eps,
+                self.weight_decay,
+            )

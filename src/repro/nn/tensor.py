@@ -1,0 +1,297 @@
+"""Reverse-mode autodiff ``Tensor`` over numpy arrays.
+
+Minimal but complete: a ``Tensor`` wraps a float32 ``numpy.ndarray``, records
+its parents and a backward closure when built by an op, and ``backward()``
+runs the reverse topological sweep accumulating ``grad`` on every tensor
+with ``requires_grad``.
+
+Design choices (kept deliberately boring):
+
+* float32 everywhere — matches the GNN workloads and halves memory;
+* gradients accumulate (``+=``) so shared sub-expressions are handled;
+* broadcasting in forward ops is undone in backward by summing the grad over
+  the broadcast axes (:func:`unbroadcast`);
+* a module-level switch (:func:`no_grad`) disables graph recording for
+  inference paths, where AGL's GraphInfer runs millions of forwards.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "unbroadcast"]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    return _GRAD_ENABLED
+
+
+@contextmanager
+def no_grad():
+    """Disable autograd recording inside the block (inference fast path)."""
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Sums over leading extra axes, then over axes where ``shape`` had size 1.
+    """
+    if grad.shape == shape:
+        return grad
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+class Tensor:
+    """A numpy array with an autograd tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        # Leaf tensors keep the requested flag even under no_grad(); only op
+        # *recording* (see _make) is gated by the switch, mirroring PyTorch.
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward_fn = None
+        self.name = name
+
+    # -------------------------------------------------------- construction
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward_fn) -> "Tensor":
+        """Internal: result tensor of an op, wired into the tape."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = parents
+            out._backward_fn = backward_fn
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------ backward
+    def backward(self, grad=None) -> None:
+        """Reverse sweep from this tensor.
+
+        ``grad`` defaults to ones (use a scalar loss).  Raises if called on a
+        tensor that does not require grad — a silent no-op here usually means
+        a training bug.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float32)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"grad shape {grad.shape} != data shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+                # Free intermediate grads eagerly: only leaves keep them.
+                if node._parents:
+                    node.grad = None
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        tag = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{tag})"
+
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    # ----------------------------------------------------------- arithmetic
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor._coerce(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad * other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(grad * self.data, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(unbroadcast(grad / other.data, self.data.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        if self.data.ndim != 2 or other.data.ndim != 2:
+            raise ValueError(
+                f"matmul expects 2-D operands, got {self.data.shape} @ {other.data.shape}"
+            )
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ----------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.data.shape).astype(np.float32))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        denom = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / denom)
+
+    # --------------------------------------------------------------- shapes
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        if self.data.ndim != 2:
+            raise ValueError("transpose() supports 2-D tensors")
+        out_data = self.data.T.copy()
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.T)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()

@@ -1,0 +1,37 @@
+"""Binary flattening of GraphFeatures — the paper's "protobuf strings".
+
+GraphFlat stores each k-hop neighborhood as a compact, self-contained byte
+string on the distributed file system (§3.2.1 "Storing").  Protobuf itself is
+not available offline, so this package implements an equivalent wire format
+from scratch: varint-coded headers + raw little-endian tensors, plus a framed
+record stream for files holding many records.
+"""
+
+from repro.proto.varint import (
+    decode_signed,
+    decode_unsigned,
+    encode_signed,
+    encode_unsigned,
+)
+from repro.proto.codec import (
+    CodecError,
+    decode_graph_feature,
+    decode_sample,
+    encode_graph_feature,
+    encode_sample,
+)
+from repro.proto.stream import read_records, write_records
+
+__all__ = [
+    "encode_unsigned",
+    "decode_unsigned",
+    "encode_signed",
+    "decode_signed",
+    "encode_graph_feature",
+    "decode_graph_feature",
+    "encode_sample",
+    "decode_sample",
+    "CodecError",
+    "read_records",
+    "write_records",
+]

@@ -1,0 +1,202 @@
+"""Wire codec for :class:`~repro.graph.subgraph.GraphFeature` records.
+
+Layout (all multi-byte integers are varints, floats are raw little-endian
+float32 blocks so numpy can decode them zero-copy):
+
+```
+magic "AGLF" | version | flags | t | n | m | fn | fe
+  target_ids  : t signed varints
+  node_ids    : n signed varints (delta-coded against previous id)
+  hops        : n unsigned varints
+  edge_src    : m unsigned varints (local indices)
+  edge_dst    : m unsigned varints
+  x           : n*fn float32
+  edge_weight : m float32
+  edge_feat   : m*fe float32            (only if flags & HAS_EDGE_FEAT)
+```
+
+A *sample* is the training triple ``<TargetedNodeId, Label, GraphFeature>``
+of §3.3.1; labels may be absent (inference), an int class id, or a float
+vector (multi-label tasks such as PPI).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.subgraph import GraphFeature
+from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
+
+__all__ = [
+    "CodecError",
+    "encode_graph_feature",
+    "decode_graph_feature",
+    "encode_sample",
+    "decode_sample",
+]
+
+_MAGIC = b"AGLF"
+_VERSION = 1
+_HAS_EDGE_FEAT = 1 << 0
+
+_LABEL_NONE = 0
+_LABEL_INT = 1
+_LABEL_VECTOR = 2
+
+
+class CodecError(ValueError):
+    """Raised when a byte string cannot be decoded as a GraphFeature."""
+
+
+def _encode_signed_block(values: np.ndarray, delta: bool = False) -> bytes:
+    out = bytearray()
+    prev = 0
+    for v in values.tolist():
+        if delta:
+            out += encode_signed(v - prev)
+            prev = v
+        else:
+            out += encode_signed(v)
+    return bytes(out)
+
+
+def _decode_signed_block(
+    buf: memoryview, offset: int, count: int, delta: bool = False
+) -> tuple[np.ndarray, int]:
+    values = np.empty(count, dtype=np.int64)
+    prev = 0
+    for i in range(count):
+        v, offset = decode_signed(buf, offset)
+        if delta:
+            v += prev
+            prev = v
+        values[i] = v
+    return values, offset
+
+
+def _encode_unsigned_block(values: np.ndarray) -> bytes:
+    out = bytearray()
+    for v in values.tolist():
+        out += encode_unsigned(v)
+    return bytes(out)
+
+
+def _decode_unsigned_block(buf: memoryview, offset: int, count: int) -> tuple[np.ndarray, int]:
+    values = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        v, offset = decode_unsigned(buf, offset)
+        values[i] = v
+    return values, offset
+
+
+def _decode_floats(buf: memoryview, offset: int, count: int) -> tuple[np.ndarray, int]:
+    nbytes = count * 4
+    if offset + nbytes > len(buf):
+        raise CodecError("truncated float block")
+    arr = np.frombuffer(buf[offset : offset + nbytes], dtype="<f4").copy()
+    return arr, offset + nbytes
+
+
+def encode_graph_feature(gf: GraphFeature) -> bytes:
+    """Flatten a GraphFeature into its wire form."""
+    out = bytearray(_MAGIC)
+    out += encode_unsigned(_VERSION)
+    flags = _HAS_EDGE_FEAT if gf.edge_feat is not None else 0
+    out += encode_unsigned(flags)
+    out += encode_unsigned(len(gf.target_ids))
+    out += encode_unsigned(gf.num_nodes)
+    out += encode_unsigned(gf.num_edges)
+    out += encode_unsigned(gf.feature_dim)
+    out += encode_unsigned(gf.edge_feature_dim)
+
+    out += _encode_signed_block(gf.target_ids)
+    out += _encode_signed_block(gf.node_ids, delta=True)
+    out += _encode_unsigned_block(gf.hops)
+    out += _encode_unsigned_block(gf.edge_src)
+    out += _encode_unsigned_block(gf.edge_dst)
+    out += np.ascontiguousarray(gf.x, dtype="<f4").tobytes()
+    out += np.ascontiguousarray(gf.edge_weight, dtype="<f4").tobytes()
+    if gf.edge_feat is not None:
+        out += np.ascontiguousarray(gf.edge_feat, dtype="<f4").tobytes()
+    return bytes(out)
+
+
+def decode_graph_feature(data: bytes, offset: int = 0) -> tuple[GraphFeature, int]:
+    """Inverse of :func:`encode_graph_feature`; returns ``(gf, next_offset)``."""
+    buf = memoryview(data)
+    if bytes(buf[offset : offset + 4]) != _MAGIC:
+        raise CodecError("bad magic — not a GraphFeature record")
+    offset += 4
+    version, offset = decode_unsigned(buf, offset)
+    if version != _VERSION:
+        raise CodecError(f"unsupported GraphFeature version {version}")
+    flags, offset = decode_unsigned(buf, offset)
+    t, offset = decode_unsigned(buf, offset)
+    n, offset = decode_unsigned(buf, offset)
+    m, offset = decode_unsigned(buf, offset)
+    fn, offset = decode_unsigned(buf, offset)
+    fe, offset = decode_unsigned(buf, offset)
+
+    target_ids, offset = _decode_signed_block(buf, offset, t)
+    node_ids, offset = _decode_signed_block(buf, offset, n, delta=True)
+    hops, offset = _decode_unsigned_block(buf, offset, n)
+    edge_src, offset = _decode_unsigned_block(buf, offset, m)
+    edge_dst, offset = _decode_unsigned_block(buf, offset, m)
+    x_flat, offset = _decode_floats(buf, offset, n * fn)
+    weight, offset = _decode_floats(buf, offset, m)
+    edge_feat = None
+    if flags & _HAS_EDGE_FEAT:
+        ef_flat, offset = _decode_floats(buf, offset, m * fe)
+        edge_feat = ef_flat.reshape(m, fe)
+    try:
+        gf = GraphFeature(
+            target_ids,
+            node_ids,
+            x_flat.reshape(n, fn),
+            hops,
+            edge_src,
+            edge_dst,
+            edge_feat,
+            weight,
+        )
+    except ValueError as exc:
+        raise CodecError(f"decoded record is inconsistent: {exc}") from exc
+    return gf, offset
+
+
+def encode_sample(target_id: int, label, gf: GraphFeature) -> bytes:
+    """Encode the training triple ``<TargetedNodeId, Label, GraphFeature>``."""
+    out = bytearray()
+    out += encode_signed(int(target_id))
+    if label is None:
+        out += encode_unsigned(_LABEL_NONE)
+    elif np.isscalar(label) and not isinstance(label, (float, np.floating)):
+        out += encode_unsigned(_LABEL_INT)
+        out += encode_signed(int(label))
+    else:
+        vec = np.atleast_1d(np.asarray(label, dtype=np.float32))
+        out += encode_unsigned(_LABEL_VECTOR)
+        out += encode_unsigned(len(vec))
+        out += vec.astype("<f4").tobytes()
+    out += encode_graph_feature(gf)
+    return bytes(out)
+
+
+def decode_sample(data: bytes) -> tuple[int, int | np.ndarray | None, GraphFeature]:
+    """Inverse of :func:`encode_sample`."""
+    buf = memoryview(data)
+    target_id, offset = decode_signed(buf, 0)
+    kind, offset = decode_unsigned(buf, offset)
+    if kind == _LABEL_NONE:
+        label = None
+    elif kind == _LABEL_INT:
+        label, offset = decode_signed(buf, offset)
+    elif kind == _LABEL_VECTOR:
+        length, offset = decode_unsigned(buf, offset)
+        label, offset = _decode_floats(buf, offset, length)
+    else:
+        raise CodecError(f"unknown label kind {kind}")
+    gf, offset = decode_graph_feature(data, offset)
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after sample")
+    return target_id, label, gf

@@ -1,0 +1,65 @@
+"""Framed record streams: many byte records in one file, with checksums.
+
+GraphFlat's output is a set of DFS files each holding thousands of flattened
+samples.  Records are framed as ``varint(length) | varint(crc32) | payload``
+so a reader can detect truncation/corruption (industrial pipelines care: a
+half-written shard after a worker failure must not silently train the model
+on garbage).
+"""
+
+from __future__ import annotations
+
+import io
+import zlib
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.proto.varint import decode_unsigned, encode_unsigned
+
+__all__ = ["write_records", "read_records", "StreamCorruptionError"]
+
+
+class StreamCorruptionError(IOError):
+    """A framed record failed its CRC or was truncated."""
+
+
+def write_records(target, records: Iterable[bytes]) -> int:
+    """Write framed ``records`` to ``target`` (path or binary file object).
+
+    Returns the number of records written.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "wb") as fh:
+            return write_records(fh, records)
+    count = 0
+    for rec in records:
+        target.write(encode_unsigned(len(rec)))
+        target.write(encode_unsigned(zlib.crc32(rec) & 0xFFFFFFFF))
+        target.write(rec)
+        count += 1
+    return count
+
+
+def read_records(source) -> Iterator[bytes]:
+    """Yield framed records from ``source`` (path, bytes, or file object)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            yield from read_records(fh.read())
+        return
+    if isinstance(source, io.IOBase):
+        yield from read_records(source.read())
+        return
+    buf = memoryview(source)
+    offset = 0
+    while offset < len(buf):
+        length, offset = decode_unsigned(buf, offset)
+        crc, offset = decode_unsigned(buf, offset)
+        if offset + length > len(buf):
+            raise StreamCorruptionError(
+                f"record of {length} bytes truncated at offset {offset}"
+            )
+        payload = bytes(buf[offset : offset + length])
+        offset += length
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise StreamCorruptionError(f"CRC mismatch at offset {offset - length}")
+        yield payload

@@ -1,0 +1,56 @@
+"""LEB128 varints with protobuf-style ZigZag signed mapping.
+
+The wire format mirrors protocol buffers: unsigned integers are encoded 7
+bits per byte, least-significant group first, with the high bit of each byte
+flagging continuation.  Signed integers are ZigZag-mapped first so that small
+negative numbers stay small on the wire.
+"""
+
+from __future__ import annotations
+
+__all__ = ["encode_unsigned", "decode_unsigned", "encode_signed", "decode_signed"]
+
+_MAX_VARINT_BYTES = 10  # enough for 64-bit payloads
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode a non-negative integer as a varint."""
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_unsigned(buf: bytes | memoryview, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
+    result = 0
+    shift = 0
+    pos = offset
+    for _ in range(_MAX_VARINT_BYTES):
+        if pos >= len(buf):
+            raise ValueError("truncated varint")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+    raise ValueError("varint longer than 10 bytes (corrupt stream)")
+
+
+def encode_signed(value: int) -> bytes:
+    """ZigZag-encode a signed integer then varint it."""
+    return encode_unsigned((value << 1) ^ (value >> 63) if value < 0 else value << 1)
+
+
+def decode_signed(buf: bytes | memoryview, offset: int = 0) -> tuple[int, int]:
+    """Inverse of :func:`encode_signed`."""
+    raw, pos = decode_unsigned(buf, offset)
+    return (raw >> 1) ^ -(raw & 1), pos

@@ -1,0 +1,30 @@
+"""Parameter-server substrate — **S4** (Kunpeng stand-in, §3.3 Figure 4).
+
+"The overall architecture of GraphTrainer follows the parameter server
+design ... workers perform the bulk of computation, servers maintain the
+current version of the graph model parameters."
+
+* :class:`ParameterServerGroup` — N server shards, each owning a slice of
+  the parameters with **server-side** optimizer state (Adam/SGD/momentum);
+* :class:`PSClient` — per-worker handle: ``pull()`` the full model,
+  ``push(grads)`` an update;
+* consistency modes: ``async`` (apply-on-arrival, lock per shard), ``bsp``
+  (barrier + averaged gradients) and ``ssp`` (bounded staleness);
+* :class:`DistributedTrainer` — thread-backed multi-worker training loop
+  used by the Figure 7 convergence experiment;
+* :mod:`repro.ps.simulate` — calibrated discrete-event cluster model that
+  produces Figure 8's 1..100-worker speedup curve on a 2-core box.
+"""
+
+from repro.ps.server import ParameterServerGroup, PSClient
+from repro.ps.distributed import DistributedTrainer, DistributedConfig
+from repro.ps.simulate import ClusterModel, simulate_speedup
+
+__all__ = [
+    "ParameterServerGroup",
+    "PSClient",
+    "DistributedTrainer",
+    "DistributedConfig",
+    "ClusterModel",
+    "simulate_speedup",
+]

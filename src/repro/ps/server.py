@@ -1,0 +1,212 @@
+"""Parameter server shards, client handles and consistency control.
+
+Parameters are sharded across servers by a stable hash of their dotted name
+(the same crc32 partitioner the MapReduce shuffle uses).  Each shard owns
+its slice's optimizer state — AGL's workers never run an optimizer; they
+push raw gradients and pull fresh values, which is what makes commodity
+(low-memory) workers sufficient (§3.3).
+
+Consistency modes
+-----------------
+* ``async`` — gradient applied on arrival under the shard lock (Hogwild-ish
+  at shard granularity).  Highest throughput, stale gradients.
+* ``bsp``   — bulk-synchronous: all workers must contribute a gradient for
+  the step; the barrier action applies the *averaged* gradient once.
+  Deterministic given worker data partitions.
+* ``ssp``   — stale-synchronous: a worker may run ahead of the slowest by at
+  most ``staleness`` steps before blocking (Ho et al., 2013).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.mapreduce.shuffle import default_partition
+from repro.nn.optim import AdamState, adam_update, sgd_update
+
+__all__ = ["ParameterServerGroup", "PSClient"]
+
+_MODES = ("async", "bsp", "ssp")
+
+
+class _ServerShard:
+    """One parameter server: a slice of parameters + optimizer state."""
+
+    def __init__(self, optimizer: str, lr: float, weight_decay: float):
+        self.values: dict[str, np.ndarray] = {}
+        self.adam: dict[str, AdamState] = {}
+        self.velocity: dict[str, np.ndarray | None] = {}
+        self.optimizer = optimizer
+        self.lr = lr
+        self.weight_decay = weight_decay
+        self.lock = threading.Lock()
+        self.applied_updates = 0
+
+    def init_param(self, name: str, value: np.ndarray) -> None:
+        self.values[name] = np.array(value, dtype=np.float32, copy=True)
+        if self.optimizer == "adam":
+            self.adam[name] = AdamState.like(self.values[name])
+        else:
+            self.velocity[name] = None
+
+    def apply(self, grads: dict[str, np.ndarray]) -> None:
+        with self.lock:
+            for name, grad in grads.items():
+                value = self.values[name]
+                if self.optimizer == "adam":
+                    adam_update(
+                        value, grad, self.adam[name], self.lr, weight_decay=self.weight_decay
+                    )
+                else:
+                    self.velocity[name] = sgd_update(
+                        value,
+                        grad,
+                        self.velocity[name],
+                        self.lr,
+                        momentum=0.9,
+                        weight_decay=self.weight_decay,
+                    )
+            self.applied_updates += 1
+
+    def read(self) -> dict[str, np.ndarray]:
+        with self.lock:
+            return {name: value.copy() for name, value in self.values.items()}
+
+
+class ParameterServerGroup:
+    """A group of server shards plus the consistency controller."""
+
+    def __init__(
+        self,
+        num_servers: int = 2,
+        num_workers: int = 1,
+        optimizer: str = "adam",
+        lr: float = 0.01,
+        weight_decay: float = 0.0,
+        mode: str = "async",
+        staleness: int = 2,
+    ):
+        if num_servers < 1 or num_workers < 1:
+            raise ValueError("need at least one server and one worker")
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        self.num_servers = num_servers
+        self.num_workers = num_workers
+        self.mode = mode
+        self.staleness = staleness
+        self.shards = [_ServerShard(optimizer, lr, weight_decay) for _ in range(num_servers)]
+        self._placement: dict[str, int] = {}
+        self._initialized = False
+
+        # BSP machinery: gradients buffered per step; the *last* contributor
+        # applies the average and releases the step barrier.
+        self._bsp_lock = threading.Condition()
+        self._bsp_buffer: list[dict[str, np.ndarray]] = []
+        self._bsp_generation = 0
+
+        # SSP bookkeeping: per-worker step counters.
+        self._ssp_lock = threading.Condition()
+        self._worker_steps = [0] * num_workers
+
+        self.total_pushes = 0
+
+    # -------------------------------------------------------------- set-up
+    def shard_of(self, name: str) -> int:
+        if name not in self._placement:
+            self._placement[name] = default_partition(name, self.num_servers)
+        return self._placement[name]
+
+    def initialize(self, state: dict[str, np.ndarray]) -> None:
+        """Install the initial model (worker 0's init, conventionally)."""
+        for name, value in state.items():
+            self.shards[self.shard_of(name)].init_param(name, value)
+        self._initialized = True
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("ParameterServerGroup.initialize() was never called")
+
+    # ------------------------------------------------------------- pull/push
+    def pull(self) -> dict[str, np.ndarray]:
+        """Gather the full current model from all shards."""
+        self._require_init()
+        state: dict[str, np.ndarray] = {}
+        for shard in self.shards:
+            state.update(shard.read())
+        return state
+
+    def _scatter_apply(self, grads: dict[str, np.ndarray]) -> None:
+        by_shard: dict[int, dict[str, np.ndarray]] = {}
+        for name, grad in grads.items():
+            by_shard.setdefault(self.shard_of(name), {})[name] = grad
+        for shard_id, shard_grads in sorted(by_shard.items()):
+            self.shards[shard_id].apply(shard_grads)
+
+    def push(self, worker_id: int, grads: dict[str, np.ndarray]) -> None:
+        """Contribute one worker's gradients under the configured mode."""
+        self._require_init()
+        if not 0 <= worker_id < self.num_workers:
+            raise ValueError(f"worker_id {worker_id} out of range")
+        self.total_pushes += 1
+        if self.mode == "async":
+            self._scatter_apply(grads)
+            return
+        if self.mode == "ssp":
+            self._push_ssp(worker_id, grads)
+            return
+        self._push_bsp(grads)
+
+    def _push_bsp(self, grads: dict[str, np.ndarray]) -> None:
+        with self._bsp_lock:
+            generation = self._bsp_generation
+            self._bsp_buffer.append(grads)
+            if len(self._bsp_buffer) == self.num_workers:
+                mean = {
+                    name: np.mean([g[name] for g in self._bsp_buffer], axis=0)
+                    for name in self._bsp_buffer[0]
+                }
+                self._scatter_apply(mean)
+                self._bsp_buffer = []
+                self._bsp_generation += 1
+                self._bsp_lock.notify_all()
+            else:
+                while self._bsp_generation == generation:
+                    self._bsp_lock.wait()
+
+    def _push_ssp(self, worker_id: int, grads: dict[str, np.ndarray]) -> None:
+        with self._ssp_lock:
+            while self._worker_steps[worker_id] - min(self._worker_steps) > self.staleness:
+                self._ssp_lock.wait()
+        self._scatter_apply(grads)
+        with self._ssp_lock:
+            self._worker_steps[worker_id] += 1
+            self._ssp_lock.notify_all()
+
+    def finish_worker(self, worker_id: int) -> None:
+        """Mark a worker done for the epoch so SSP stragglers don't deadlock
+        and a BSP step never waits on an exhausted worker."""
+        if self.mode == "ssp":
+            with self._ssp_lock:
+                self._worker_steps[worker_id] = max(self._worker_steps)
+                self._ssp_lock.notify_all()
+
+    def client(self, worker_id: int) -> "PSClient":
+        return PSClient(self, worker_id)
+
+
+class PSClient:
+    """Per-worker handle with the two-call interface GraphTrainer expects."""
+
+    def __init__(self, group: ParameterServerGroup, worker_id: int):
+        self.group = group
+        self.worker_id = worker_id
+
+    def pull(self) -> dict[str, np.ndarray]:
+        return self.group.pull()
+
+    def push(self, grads: dict[str, np.ndarray]) -> None:
+        self.group.push(self.worker_id, grads)

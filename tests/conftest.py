@@ -1,0 +1,50 @@
+"""Shared fixtures: miniature datasets and graphs sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import cora_like, ppi_like, uug_like
+from repro.graph.tables import EdgeTable, NodeTable
+
+
+@pytest.fixture(scope="session")
+def mini_cora():
+    """300-node cora-like graph (session-scoped: generators are pure)."""
+    return cora_like(seed=7, num_nodes=300, num_edges=900)
+
+
+@pytest.fixture(scope="session")
+def mini_ppi():
+    return ppi_like(seed=7, num_graphs=6, nodes_per_graph=80, avg_degree=6, num_labels=12)
+
+
+@pytest.fixture(scope="session")
+def mini_uug():
+    return uug_like(
+        seed=7, num_nodes=800, avg_degree=6, feature_dim=16, num_hubs=3, hub_degree=120
+    )
+
+
+@pytest.fixture()
+def tiny_tables():
+    """Hand-built 5-node graph (the Figure 2 example shape):
+
+        B -> A,  C -> A,  D -> B,  D -> C,  E -> D,  A -> E
+    """
+    ids = np.array([10, 11, 12, 13, 14])  # A B C D E
+    feats = np.eye(5, 3, dtype=np.float32)
+    labels = np.array([1, 0, 0, 1, 0])
+    nodes = NodeTable(ids, feats, labels)
+    src = np.array([11, 12, 13, 13, 14, 10])
+    dst = np.array([10, 10, 11, 12, 13, 14])
+    weights = np.array([1.0, 2.0, 1.0, 1.0, 3.0, 1.0], dtype=np.float32)
+    edge_feat = np.arange(12, dtype=np.float32).reshape(6, 2)
+    edges = EdgeTable(src, dst, edge_feat, weights)
+    return nodes, edges
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,53 @@
+"""Test utilities: finite-difference gradient checking for the autograd ops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numeric_grad", "check_gradients"]
+
+
+def numeric_grad(fn, value: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(value)`` w.r.t. ``value``."""
+    grad = np.zeros_like(value, dtype=np.float64)
+    flat = value.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = float(fn(value))
+        flat[i] = orig - eps
+        down = float(fn(value))
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_loss, arrays: dict[str, np.ndarray], rtol=5e-2, atol=5e-3):
+    """Compare autograd gradients of ``build_loss(tensors) -> Tensor`` (a
+    scalar) against finite differences for every array in ``arrays``.
+
+    ``build_loss`` receives a dict of fresh ``Tensor`` leaves each call, so
+    it must be a pure function of them.
+    """
+    tensors = {k: Tensor(v.copy(), requires_grad=True) for k, v in arrays.items()}
+    loss = build_loss(tensors)
+    if loss.data.ndim != 0 and loss.data.size != 1:
+        raise AssertionError("build_loss must return a scalar")
+    loss.backward()
+
+    for name, value in arrays.items():
+        def scalar_fn(v, name=name):
+            local = {
+                k: Tensor(v.copy() if k == name else arrays[k].copy()) for k in arrays
+            }
+            return build_loss(local).data
+
+        expected = numeric_grad(scalar_fn, value.astype(np.float64).copy())
+        got = tensors[name].grad
+        assert got is not None, f"no gradient for {name}"
+        np.testing.assert_allclose(
+            got, expected, rtol=rtol, atol=atol, err_msg=f"gradient mismatch for {name}"
+        )

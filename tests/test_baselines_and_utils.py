@@ -1,0 +1,166 @@
+"""Baseline systems (full-graph trainers, original inference) and utilities
+(timers, RNG helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FullGraphConfig, FullGraphTrainer, OriginalInference
+from repro.baselines.fullgraph import GraphTooLargeError
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.nn.gnn import GCNModel
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.timer import Timer, TimerRegistry
+
+
+class TestFullGraphTrainer:
+    def test_trains_to_better_than_chance(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 12, ds.num_classes, num_layers=2, seed=0)
+        trainer = FullGraphTrainer(model, ds, FullGraphConfig(epochs=30, lr=0.02))
+        history = trainer.fit()
+        assert history[-1]["loss"] < history[0]["loss"] * 0.5
+        assert trainer.evaluate("val") > 2.0 / ds.num_classes
+
+    def test_fused_and_scatter_identical_results(self, mini_cora):
+        """The DGL/PyG proxies differ in kernel, never in math."""
+        ds = mini_cora
+        outs = []
+        for aggregation in ("fused", "scatter"):
+            model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=1)
+            trainer = FullGraphTrainer(
+                model, ds, FullGraphConfig(epochs=3, lr=0.01, aggregation=aggregation)
+            )
+            history = trainer.fit()
+            outs.append([h["loss"] for h in history])
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-4)
+
+    def test_oom_guard_trips(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, seed=0)
+        with pytest.raises(GraphTooLargeError):
+            FullGraphTrainer(
+                model, ds, FullGraphConfig(max_nodes_in_memory=10)
+            )
+
+    def test_bad_aggregation(self):
+        with pytest.raises(ValueError):
+            FullGraphConfig(aggregation="magic")
+
+
+class TestOriginalInference:
+    def test_counts_repetition(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=0)
+        flat = graph_flat(
+            ds.nodes, ds.edges, ds.train_ids[:10],
+            GraphFlatConfig(hops=2, max_neighbors=10**9, hub_threshold=10**9),
+        )
+        small_batches = OriginalInference(model, batch_size=1, pruning=False).run(flat.samples)
+        one_batch = OriginalInference(model, batch_size=10, pruning=False).run(flat.samples)
+        # merging shares overlap, so bigger batches do strictly less work
+        assert one_batch.embedding_computations <= small_batches.embedding_computations
+        # same answers either way
+        for tid, scores in small_batches.scores.items():
+            np.testing.assert_allclose(one_batch.scores[tid], scores, rtol=1e-4, atol=1e-5)
+
+    def test_pruning_reduces_work_not_results(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=0)
+        flat = graph_flat(
+            ds.nodes, ds.edges, ds.train_ids[:10],
+            GraphFlatConfig(hops=2, max_neighbors=10**9, hub_threshold=10**9),
+        )
+        pruned = OriginalInference(model, batch_size=5, pruning=True).run(flat.samples)
+        full = OriginalInference(model, batch_size=5, pruning=False).run(flat.samples)
+        assert pruned.embedding_computations < full.embedding_computations
+        for tid, scores in full.scores.items():
+            np.testing.assert_allclose(pruned.scores[tid], scores, rtol=1e-3, atol=1e-4)
+
+
+class TestTimerIntervals:
+    def test_intervals_recorded_when_enabled(self):
+        t = Timer("x", keep_intervals=True)
+        with t.timing():
+            pass
+        assert len(t.intervals) == 1
+        start, stop = t.intervals[0]
+        assert stop >= start
+
+    def test_intervals_off_by_default(self):
+        t = Timer("x")
+        with t.timing():
+            pass
+        assert t.intervals == []
+
+    def test_overlap_seconds(self):
+        a = Timer("a", keep_intervals=True)
+        b = Timer("b", keep_intervals=True)
+        a.intervals = [(0.0, 2.0), (5.0, 6.0)]
+        b.intervals = [(1.0, 5.5)]
+        assert Timer.overlap_seconds(a, b) == pytest.approx(1.0 + 0.5)
+
+    def test_registry_propagates_flag(self):
+        reg = TimerRegistry(keep_intervals=True)
+        with reg.timing("x"):
+            pass
+        assert len(reg["x"].intervals) == 1
+
+    def test_reset_clears_intervals(self):
+        t = Timer("x", keep_intervals=True)
+        with t.timing():
+            pass
+        t.reset()
+        assert t.intervals == []
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer("x")
+        with t.timing():
+            pass
+        with t.timing():
+            pass
+        assert t.count == 2
+        assert t.total >= 0
+        assert t.mean == pytest.approx(t.total / 2)
+
+    def test_double_start_rejected(self):
+        t = Timer("x")
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer("x").stop()
+
+    def test_registry_report(self):
+        reg = TimerRegistry()
+        with reg.timing("alpha"):
+            pass
+        assert "alpha" in reg
+        assert "alpha" in reg.report()
+        reg.reset()
+        assert reg["alpha"].count == 0
+
+
+class TestRng:
+    def test_new_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert new_rng(gen) is gen
+
+    def test_new_rng_seeded_deterministic(self):
+        assert new_rng(5).random() == new_rng(5).random()
+
+    def test_spawn_independent_streams(self):
+        a, b = spawn_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_reproducible(self):
+        first = [g.random() for g in spawn_rngs(42, 3)]
+        second = [g.random() for g in spawn_rngs(42, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,110 @@
+"""Stacked models: shapes, training signal, registry, segmentation inputs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, softmax_cross_entropy
+from repro.nn.gnn import BatchInputs, EdgeBlock, GATModel, GCNModel, GraphSAGEModel
+from repro.nn.gnn.registry import build_model
+
+
+def toy_batch(rng, n=20, m=60, f=8, targets=5):
+    x = rng.standard_normal((n, f)).astype(np.float32)
+    src = rng.integers(0, n, m)
+    dst = np.sort(rng.integers(0, n, m))
+    block = EdgeBlock(src, dst, n)
+    return BatchInputs(x, np.arange(targets), [block])
+
+
+MODELS = [
+    lambda f, c: GCNModel(f, 8, c, num_layers=2, seed=0),
+    lambda f, c: GraphSAGEModel(f, 8, c, num_layers=2, seed=0),
+    lambda f, c: GraphSAGEModel(f, 8, c, num_layers=2, combine="concat", seed=0),
+    lambda f, c: GATModel(f, 8, c, num_layers=2, num_heads=2, seed=0),
+]
+
+
+class TestForward:
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_logit_shape_is_targets_by_classes(self, factory, rng):
+        model = factory(8, 3)
+        batch = toy_batch(rng)
+        assert model(batch).shape == (5, 3)
+
+    @pytest.mark.parametrize("num_layers", [1, 2, 3])
+    def test_depth_configurable(self, num_layers, rng):
+        model = GCNModel(8, 8, 3, num_layers=num_layers, seed=0)
+        assert model.num_layers == num_layers
+        assert model(toy_batch(rng)).shape == (5, 3)
+
+    def test_deeper_model_than_blocks_reuses_last(self, rng):
+        model = GCNModel(8, 8, 3, num_layers=3, seed=0)
+        batch = toy_batch(rng)  # one shared block
+        assert model(batch).shape == (5, 3)
+
+    def test_empty_layers_rejected(self):
+        from repro.nn.gnn.base import GNNModel
+
+        with pytest.raises(ValueError):
+            GNNModel([], num_classes=2)
+
+
+class TestTrainingSignal:
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_loss_decreases(self, factory, rng):
+        model = factory(8, 3)
+        batch = toy_batch(rng)
+        labels = rng.integers(0, 3, 5)
+        opt = Adam(model.parameters(), lr=0.02)
+        first = last = None
+        for _ in range(30):
+            model.zero_grad()
+            loss = softmax_cross_entropy(model(batch), labels)
+            loss.backward()
+            opt.step()
+            first = loss.item() if first is None else first
+            last = loss.item()
+        assert last < first * 0.5
+
+    def test_dropout_only_active_in_train_mode(self, rng):
+        model = GCNModel(8, 8, 3, num_layers=2, dropout=0.5, seed=0)
+        batch = toy_batch(rng)
+        model.eval()
+        a = model(batch).data
+        b = model(batch).data
+        np.testing.assert_allclose(a, b)  # eval: deterministic
+        model.train()
+        c = model(batch).data
+        d = model(batch).data
+        assert np.abs(c - d).max() > 0  # train: stochastic masks
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls", [("gcn", GCNModel), ("graphsage", GraphSAGEModel), ("gat", GATModel)]
+    )
+    def test_build_model(self, name, cls):
+        model = build_model(name, in_dim=4, hidden_dim=8, num_classes=2, seed=0)
+        assert isinstance(model, cls)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_model("transformer")
+
+
+class TestSegmentationContract:
+    @pytest.mark.parametrize("factory", MODELS)
+    def test_k_plus_one_slices(self, factory):
+        model = factory(8, 3)
+        slices = model.layer_slices()
+        assert len(slices) == model.num_layers + 1
+        assert slices[-1][0] == "dense_head"
+
+    def test_predict_head_matches_dense(self, rng):
+        model = GCNModel(8, 8, 3, num_layers=1, seed=0)
+        h = rng.standard_normal((4, 8)).astype(np.float32)
+        from repro.nn import Tensor, no_grad
+
+        with no_grad():
+            expected = model.head(Tensor(h)).data
+        np.testing.assert_allclose(model.predict_head(h), expected, rtol=1e-6)

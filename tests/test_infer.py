@@ -1,0 +1,218 @@
+"""GraphInfer: segmentation contract, equivalence with batched forward
+("unbiased inference"), sampling consistency, hub handling, DFS output,
+fault tolerance, and the no-repetition cost claim."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OriginalInference
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer, segment_model
+from repro.core.infer.pipeline import decode_prediction
+from repro.mapreduce import DistFileSystem, FailureInjector, LocalRuntime
+from repro.nn import Tensor, no_grad
+from repro.nn.gnn import BatchInputs, EdgeBlock, GATModel, GCNModel, GraphSAGEModel
+
+
+@pytest.fixture(scope="module")
+def mini_cora():
+    from repro.datasets import cora_like
+
+    return cora_like(seed=7, num_nodes=250, num_edges=700)
+
+
+def full_forward(model, ds):
+    """Reference: the whole graph as one batch."""
+    graph = ds.to_graph()
+    in_ptr, in_src, in_eid = graph.in_csr
+    dst = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), np.diff(in_ptr))
+    block = EdgeBlock(in_src, dst, graph.num_nodes, graph.edges.weights[in_eid])
+    batch = BatchInputs(
+        graph.node_features, np.arange(graph.num_nodes), [block] * model.num_layers
+    )
+    model.eval()
+    with no_grad():
+        return model(batch).data
+
+
+class TestSegmentation:
+    def test_k_plus_one_slices(self):
+        model = GCNModel(6, 8, 3, num_layers=2, seed=0)
+        slices = segment_model(model)
+        assert len(slices) == 3
+        assert [s.kind for s in slices] == ["gcn", "gcn", "dense_head"]
+        assert slices[-1].is_prediction
+
+    def test_slices_partition_all_parameters(self):
+        model = GATModel(6, 8, 3, num_layers=2, seed=0)
+        slices = segment_model(model)
+        # every model parameter (minus dropout, which has none) is in exactly
+        # one slice
+        assert sum(s.num_parameters() for s in slices) == model.num_parameters()
+
+    def test_materialize_is_runnable(self, rng):
+        model = GCNModel(6, 8, 3, num_layers=1, seed=0)
+        layer = segment_model(model)[0].materialize()
+        out = layer.infer_node(
+            rng.standard_normal(6).astype(np.float32),
+            rng.standard_normal((3, 6)).astype(np.float32),
+            np.ones(3, dtype=np.float32),
+        )
+        assert out.shape == (8,)
+
+
+class TestUnbiasedInference:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda f, c: GCNModel(f, 8, c, num_layers=1, seed=1),
+            lambda f, c: GCNModel(f, 8, c, num_layers=2, seed=1),
+            lambda f, c: GCNModel(f, 8, c, num_layers=3, seed=1),
+            lambda f, c: GraphSAGEModel(f, 8, c, num_layers=2, seed=1),
+            lambda f, c: GATModel(f, 8, c, num_layers=2, num_heads=2, seed=1),
+        ],
+    )
+    def test_matches_full_graph_forward(self, mini_cora, factory):
+        ds = mini_cora
+        model = factory(ds.feature_dim, ds.num_classes)
+        ref = full_forward(model, ds)
+        result = graph_infer(model, ds.nodes, ds.edges)
+        assert result.num_nodes == len(ds.nodes)
+        graph = ds.to_graph()
+        for node_id, scores in result.scores.items():
+            row = graph.index_of(node_id)[0]
+            np.testing.assert_allclose(scores, ref[row], rtol=1e-3, atol=1e-4)
+
+    def test_matches_original_inference_module(self, mini_cora):
+        """Same scores as the per-GraphFeature baseline, far less work."""
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=2)
+        flat = graph_flat(
+            ds.nodes, ds.edges, None,
+            GraphFlatConfig(hops=2, max_neighbors=10**9, hub_threshold=10**9),
+        )
+        original = OriginalInference(model).run(flat.samples)
+        infer = graph_infer(model, ds.nodes, ds.edges)
+        for tid, scores in original.scores.items():
+            np.testing.assert_allclose(infer.scores[tid], scores, rtol=1e-3, atol=1e-4)
+        # the Table 5 mechanism: GraphInfer never recomputes an embedding
+        assert infer.embedding_computations < original.embedding_computations
+
+
+class TestSamplingConsistency:
+    @pytest.mark.parametrize("strategy", ["topk", "uniform", "weighted"])
+    def test_same_sampler_config_as_graphflat_trained_model(self, mini_uug, strategy):
+        """§3.4: inference uses the identical sampling/indexing as GraphFlat
+        so scores equal a per-GraphFeature forward over *sampled* features.
+        Holds for stochastic strategies too because draws are keyed
+        (seed, node, slice) — never by round (see sampling module)."""
+        ds = mini_uug
+        model = GCNModel(ds.feature_dim, 8, 2, num_layers=2, seed=0)
+        sample_cfg = dict(sampling=strategy, max_neighbors=5)
+        flat = graph_flat(
+            ds.nodes, ds.edges, None,
+            GraphFlatConfig(hops=2, hub_threshold=60, seed=1, **sample_cfg),
+        )
+        original = OriginalInference(model).run(flat.samples)
+        infer = graph_infer(
+            model, ds.nodes, ds.edges,
+            GraphInferConfig(hub_threshold=60, seed=1, **sample_cfg),
+        )
+        mismatches = sum(
+            not np.allclose(infer.scores[t], s, rtol=1e-3, atol=1e-4)
+            for t, s in original.scores.items()
+        )
+        assert mismatches == 0
+
+
+class TestHubsAndFaults:
+    def test_reindexed_matches_plain(self, mini_uug):
+        ds = mini_uug
+        model = GCNModel(ds.feature_dim, 6, 2, num_layers=2, seed=0)
+        plain = graph_infer(model, ds.nodes, ds.edges)
+        hubbed = graph_infer(
+            model, ds.nodes, ds.edges, GraphInferConfig(hub_threshold=50)
+        )
+        for node_id, scores in plain.scores.items():
+            np.testing.assert_allclose(
+                hubbed.scores[node_id], scores, rtol=1e-3, atol=1e-4
+            )
+
+    def test_fault_tolerant_inference(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 6, ds.num_classes, num_layers=2, seed=0)
+        baseline = graph_infer(model, ds.nodes, ds.edges)
+        runtime = LocalRuntime(
+            max_attempts=10, failure_injector=FailureInjector(0.2, seed=17)
+        )
+        out = graph_infer(model, ds.nodes, ds.edges, runtime=runtime)
+        assert runtime.injector.injected > 0
+        for node_id, scores in baseline.scores.items():
+            np.testing.assert_allclose(out.scores[node_id], scores, rtol=1e-4)
+
+
+class TestTargetedInference:
+    """§3.4: 'the pruning strategy ... also works in this pipeline in the
+    case the inference task is performed over a part of the entire graph'."""
+
+    def test_subset_scores_equal_full_run(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=0)
+        full = graph_infer(model, ds.nodes, ds.edges)
+        targets = ds.test_ids[:20]
+        subset = graph_infer(model, ds.nodes, ds.edges, targets=targets)
+        assert set(subset.scores) == {int(t) for t in targets}
+        for t in targets:
+            np.testing.assert_allclose(
+                subset.scores[int(t)], full.scores[int(t)], rtol=1e-5
+            )
+
+    def test_pruning_reduces_work(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=0)
+        full = graph_infer(model, ds.nodes, ds.edges)
+        subset = graph_infer(model, ds.nodes, ds.edges, targets=ds.test_ids[:5])
+        assert subset.embedding_computations < full.embedding_computations
+        # shuffled volume shrinks too (fewer propagated embeddings)
+        full_shuffled = sum(s.shuffled_records for s in full.round_stats)
+        subset_shuffled = sum(s.shuffled_records for s in subset.round_stats)
+        assert subset_shuffled < full_shuffled
+
+    def test_works_with_hubs_and_sampling(self, mini_uug):
+        ds = mini_uug
+        model = GCNModel(ds.feature_dim, 6, 2, num_layers=2, seed=0)
+        cfg = GraphInferConfig(
+            sampling="topk", max_neighbors=5, hub_threshold=60, seed=1
+        )
+        full = graph_infer(model, ds.nodes, ds.edges, cfg)
+        targets = ds.val_ids[:10]
+        subset = graph_infer(model, ds.nodes, ds.edges, cfg, targets=targets)
+        for t in targets:
+            np.testing.assert_allclose(
+                subset.scores[int(t)], full.scores[int(t)], rtol=1e-5
+            )
+
+    def test_missing_target_rejected(self, mini_cora):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=1, seed=0)
+        with pytest.raises(KeyError):
+            graph_infer(model, ds.nodes, ds.edges, targets=[10**15])
+
+
+class TestOutput:
+    def test_writes_predictions_to_dfs(self, mini_cora, tmp_path):
+        ds = mini_cora
+        model = GCNModel(ds.feature_dim, 6, ds.num_classes, num_layers=1, seed=0)
+        fs = DistFileSystem(tmp_path)
+        result = graph_infer(
+            model, ds.nodes, ds.edges,
+            GraphInferConfig(num_shards=3), fs=fs, dataset_name="scores/all",
+        )
+        assert result.dataset == "scores/all"
+        decoded = dict(
+            decode_prediction(r) for r in fs.read_dataset("scores/all")
+        )
+        assert len(decoded) == len(ds.nodes)
+        ref = graph_infer(model, ds.nodes, ds.edges).scores
+        probe = list(decoded)[0]
+        np.testing.assert_allclose(decoded[probe], ref[probe], rtol=1e-6)

@@ -1,0 +1,220 @@
+"""MapReduce substrate: shuffle determinism, combiners, chaining, backends,
+fault tolerance (re-execution invariance), disk spill and the DFS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce import (
+    DistFileSystem,
+    FailureInjector,
+    JobFailedError,
+    LocalRuntime,
+    MapReduceJob,
+    default_partition,
+    key_bytes,
+)
+
+
+def word_count_job(**kwargs):
+    def mapper(_, line):
+        for word in line.split():
+            yield word, 1
+
+    def reducer(word, counts):
+        yield word, sum(counts)
+
+    return MapReduceJob("wordcount", reducer, mapper=mapper, combiner=reducer, **kwargs)
+
+
+CORPUS = [(i, line) for i, line in enumerate(["a b b", "b c", "a a a c", ""])]
+EXPECTED = {"a": 4, "b": 3, "c": 2}
+
+
+class TestShuffle:
+    def test_key_bytes_distinguishes_types(self):
+        assert key_bytes(1) != key_bytes("1")
+        assert key_bytes(True) != key_bytes(1)
+        assert key_bytes((1, 2)) != key_bytes((1, "2"))
+
+    def test_partition_stable_and_in_range(self):
+        for key in [0, -5, "node", (7, 3), b"raw"]:
+            p = default_partition(key, 7)
+            assert 0 <= p < 7
+            assert p == default_partition(key, 7)
+
+    def test_unsupported_key_rejected(self):
+        with pytest.raises(TypeError):
+            key_bytes(3.14)
+
+    @given(st.integers(), st.integers(1, 64))
+    def test_int_partition_property(self, key, n):
+        assert 0 <= default_partition(key, n) < n
+
+
+class TestRuntimeBasics:
+    def test_word_count(self):
+        out = dict(LocalRuntime().run(word_count_job(), CORPUS))
+        assert out == EXPECTED
+
+    def test_combiner_reduces_shuffle_volume(self):
+        runtime = LocalRuntime()
+        runtime.run(word_count_job(num_mappers=1), CORPUS)
+        with_combiner = runtime.last_stats.shuffled_records
+        job = word_count_job(num_mappers=1)
+        job.combiner = None
+        runtime.run(job, CORPUS)
+        without = runtime.last_stats.shuffled_records
+        assert with_combiner < without
+
+    def test_reducer_rekeying(self):
+        """Reducers may emit different keys — GraphFlat's propagation."""
+        job = MapReduceJob("rekey", lambda k, vs: [(k + 1, sum(vs))])
+        out = dict(LocalRuntime().run(job, [(1, 10), (1, 5), (2, 1)]))
+        assert out == {2: 15, 3: 1}
+
+    def test_run_rounds_chains(self):
+        inc = MapReduceJob("inc", lambda k, vs: [(k, sum(vs) + 1)])
+        out = dict(LocalRuntime().run_rounds([inc, inc, inc], [(0, 0)]))
+        assert out == {0: 3}
+
+    def test_threads_match_serial(self):
+        serial = LocalRuntime("serial").run(word_count_job(num_reducers=3), CORPUS)
+        threaded = LocalRuntime("threads", max_workers=4).run(
+            word_count_job(num_reducers=3), CORPUS
+        )
+        assert serial == threaded
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            LocalRuntime("mpi")
+
+    def test_empty_input(self):
+        assert LocalRuntime().run(word_count_job(), []) == []
+
+    def test_stats_populated(self):
+        runtime = LocalRuntime()
+        runtime.run(word_count_job(num_reducers=2), CORPUS)
+        stats = runtime.last_stats
+        assert stats.input_records == 4
+        assert stats.mapped_records == 9
+        assert stats.reduced_records == 3
+        assert sum(stats.reducer_group_sizes.values()) == 3
+
+
+class TestFaultTolerance:
+    def test_output_identical_under_injected_failures(self):
+        baseline = LocalRuntime().run(word_count_job(num_reducers=3), CORPUS)
+        injector = FailureInjector(rate=0.4, seed=11)
+        runtime = LocalRuntime(max_attempts=10, failure_injector=injector)
+        out = runtime.run(word_count_job(num_reducers=3), CORPUS)
+        assert out == baseline
+        assert injector.injected > 0
+        assert runtime.last_stats.map_attempts + runtime.last_stats.reduce_attempts > 3 + 3
+
+    def test_exhausted_retries_raise(self):
+        injector = FailureInjector(rate=1.0, seed=0)
+        runtime = LocalRuntime(max_attempts=2, failure_injector=injector)
+        with pytest.raises(JobFailedError):
+            runtime.run(word_count_job(), CORPUS)
+
+    def test_threaded_with_failures_matches_serial(self):
+        baseline = LocalRuntime().run(word_count_job(num_reducers=4), CORPUS)
+        runtime = LocalRuntime(
+            "threads", max_attempts=10, failure_injector=FailureInjector(0.3, seed=5)
+        )
+        assert runtime.run(word_count_job(num_reducers=4), CORPUS) == baseline
+
+    def test_injector_schedule_is_deterministic(self):
+        a = FailureInjector(0.5, seed=3)
+        b = FailureInjector(0.5, seed=3)
+        draws_a = [a.should_fail("j", f"t{i}", 0) for i in range(50)]
+        draws_b = [b.should_fail("j", f"t{i}", 0) for i in range(50)]
+        assert draws_a == draws_b
+
+    def test_max_failures_cap(self):
+        injector = FailureInjector(1.0, seed=0, max_failures=2)
+        hits = sum(injector.should_fail("j", f"t{i}", 0) for i in range(10))
+        assert hits == 2
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FailureInjector(1.5)
+
+
+class TestSpill:
+    def test_disk_spill_matches_memory(self, tmp_path):
+        spilled = LocalRuntime(spill_dir=tmp_path).run(word_count_job(), CORPUS)
+        assert dict(spilled) == EXPECTED
+        # spill files are cleaned up after the job
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestDistFileSystem:
+    def test_write_read_round_trip(self, tmp_path):
+        fs = DistFileSystem(tmp_path)
+        records = [f"rec{i}".encode() for i in range(10)]
+        assert fs.write_dataset("out/data", records, num_shards=3) == 10
+        assert fs.num_shards("out/data") == 3
+        assert sorted(fs.read_dataset("out/data")) == sorted(records)
+
+    def test_shard_roundrobin_balance(self, tmp_path):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("ds", [b"x"] * 10, num_shards=3)
+        sizes = [len(list(fs.read_shard("ds", i))) for i in range(3)]
+        assert sizes == [4, 3, 3]
+
+    def test_overwrite_replaces(self, tmp_path):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("ds", [b"old"] * 5, num_shards=2)
+        fs.write_dataset("ds", [b"new"], num_shards=1)
+        assert list(fs.read_dataset("ds")) == [b"new"]
+        assert fs.num_shards("ds") == 1
+
+    def test_missing_dataset_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DistFileSystem(tmp_path).shards("nope")
+
+    def test_bad_names_rejected(self, tmp_path):
+        fs = DistFileSystem(tmp_path)
+        for name in ["", "/abs", "a/../b"]:
+            with pytest.raises(ValueError):
+                fs.write_dataset(name, [])
+
+    def test_metadata(self, tmp_path):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("a/b", [b"12345"] * 4, num_shards=2)
+        assert fs.exists("a/b")
+        assert fs.count_records("a/b") == 4
+        assert fs.size_bytes("a/b") > 0
+        assert "a/b" in fs.list_datasets()
+        fs.delete("a/b")
+        assert not fs.exists("a/b")
+
+
+class TestDeterminismProperty:
+    @given(
+        seed=st.integers(0, 2**16),
+        reducers=st.integers(1, 6),
+        rate=st.sampled_from([0.0, 0.3]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_config_same_answer(self, seed, reducers, rate):
+        """Property: reducer count, backend and failures never change the
+        job's *result* — only its schedule."""
+        rng = np.random.default_rng(seed)
+        data = [(int(i), int(v)) for i, v in enumerate(rng.integers(0, 5, 30))]
+        job = MapReduceJob(
+            "sum", lambda k, vs: [(k, sum(vs))], mapper=lambda k, v: [(v, 1)],
+            num_reducers=reducers,
+        )
+        baseline = sorted(LocalRuntime().run(
+            MapReduceJob("sum", lambda k, vs: [(k, sum(vs))],
+                         mapper=lambda k, v: [(v, 1)], num_reducers=1), data))
+        runtime = LocalRuntime(
+            backend="threads",
+            max_attempts=12,
+            failure_injector=FailureInjector(rate, seed=seed) if rate else None,
+        )
+        assert sorted(runtime.run(job, data)) == baseline

@@ -1,0 +1,90 @@
+"""Metrics against hand-computed values and known invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import accuracy, micro_f1, roc_auc
+
+
+class TestAccuracy:
+    def test_hand_case(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        logits = np.eye(4)
+        assert accuracy(logits, np.arange(4)) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestMicroF1:
+    def test_hand_case(self):
+        # pred: [[1,0],[1,1]]; true: [[1,1],[0,1]] -> tp=2 fp=1 fn=1 -> F1=2/3
+        scores = np.array([[1.0, -1.0], [1.0, 1.0]])
+        targets = np.array([[1, 1], [0, 1]])
+        assert micro_f1(scores, targets) == pytest.approx(2 / 3)
+
+    def test_all_correct(self):
+        scores = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        targets = np.array([[1, 0], [0, 1]])
+        assert micro_f1(scores, targets) == 1.0
+
+    def test_no_predictions_no_positives(self):
+        assert micro_f1(np.full((2, 2), -1.0), np.zeros((2, 2))) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            micro_f1(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0.1, 0.2, 0.8, 0.9]), np.array([0, 0, 1, 1])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([0.9, 0.8, 0.2, 0.1]), np.array([0, 0, 1, 1])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert abs(roc_auc(scores, labels) - 0.5) < 0.03
+
+    def test_ties_get_midrank(self):
+        # all scores equal -> AUC exactly 0.5
+        assert roc_auc(np.ones(10), np.array([1, 0] * 5)) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.1, 0.9]), np.array([1, 1]))
+
+    @given(seed=st.integers(0, 2**16), n=st.integers(5, 60))
+    @settings(max_examples=30, deadline=None)
+    def test_invariant_under_monotone_transform(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal(n)
+        labels = rng.integers(0, 2, n)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        a = roc_auc(scores, labels)
+        b = roc_auc(np.exp(scores * 2.0), labels)  # strictly monotone map
+        assert a == pytest.approx(b, abs=1e-9)
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_pairwise_definition(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.standard_normal(30)
+        labels = rng.integers(0, 2, 30)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(scores, labels) == pytest.approx(expected, abs=1e-9)

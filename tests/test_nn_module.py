@@ -1,0 +1,114 @@
+"""Module containers: registration, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Dropout, Module, Parameter, Sequential, Tensor
+from repro.nn.module import ModuleList
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Dense(4, 8, activation="relu", seed=0)
+        self.fc2 = Dense(8, 2, seed=1)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x)) * self.scale
+
+
+class TestRegistration:
+    def test_named_parameters_paths(self):
+        model = TwoLayer()
+        names = {name for name, _ in model.named_parameters()}
+        assert names == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias", "scale"}
+
+    def test_num_parameters(self):
+        model = TwoLayer()
+        assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2 + 1
+
+    def test_reassignment_replaces_registration(self):
+        model = TwoLayer()
+        model.scale = Parameter(np.zeros(2))
+        assert dict(model.named_parameters())["scale"].shape == (2,)
+
+    def test_attribute_before_init_raises(self):
+        class Broken(Module):
+            def __init__(self):
+                self.w = Parameter(np.ones(1))  # forgot super().__init__()
+
+        with pytest.raises(RuntimeError):
+            Broken()
+
+    def test_module_list(self):
+        ml = ModuleList([Dense(2, 2, seed=0), Dense(2, 2, seed=1)])
+        assert len(ml) == 2
+        assert len(list(ml.named_parameters())) == 4
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        a, b = TwoLayer(), TwoLayer()
+        b.fc1.weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.fc1.weight.data, a.fc1.weight.data)
+
+    def test_load_keeps_parameter_identity(self):
+        model = TwoLayer()
+        param = model.fc1.weight
+        model.load_state_dict({k: v + 1 for k, v in model.state_dict().items()})
+        assert model.fc1.weight is param
+
+    def test_state_dict_is_a_copy(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"][...] = 99.0
+        np.testing.assert_allclose(model.scale.data, [1.0])
+
+    def test_missing_key_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        model = TwoLayer()
+        state = model.state_dict()
+        state["scale"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        model = Sequential(Dense(2, 2, seed=0), Dropout(0.5, seed=0))
+        model.eval()
+        assert not model.training
+        assert all(not m.training for _, m in model.named_modules())
+        model.train()
+        assert model.training
+
+    def test_dropout_respects_mode(self, rng):
+        drop = Dropout(0.9, seed=0)
+        x = Tensor(rng.standard_normal((50, 50)).astype(np.float32))
+        drop.eval()
+        assert drop(x) is x
+        drop.train()
+        assert (drop(x).data == 0).mean() > 0.5
+
+    def test_zero_grad(self):
+        model = TwoLayer()
+        out = model(Tensor(np.ones((2, 4))))
+        out.sum().backward()
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestSequential:
+    def test_forward_chains(self):
+        model = Sequential(Dense(3, 5, seed=0), Dense(5, 2, seed=1))
+        out = model(Tensor(np.ones((4, 3))))
+        assert out.shape == (4, 2)

@@ -1,0 +1,217 @@
+"""Operator library: forward semantics + gradcheck, incl. the segment ops
+that GNN aggregation (and edge partitioning) is built on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, ops
+
+from .helpers import check_gradients
+
+
+class TestElementwise:
+    @pytest.mark.parametrize(
+        "op,ref",
+        [
+            (ops.exp, np.exp),
+            (ops.log, np.log),
+            (ops.sqrt, np.sqrt),
+            (ops.sigmoid, lambda x: 1 / (1 + np.exp(-x))),
+            (ops.tanh, np.tanh),
+        ],
+    )
+    def test_forward(self, op, ref, rng):
+        x = rng.uniform(0.5, 2.0, (3, 4)).astype(np.float32)
+        np.testing.assert_allclose(op(Tensor(x)).data, ref(x), rtol=1e-5)
+
+    @pytest.mark.parametrize("op", [ops.exp, ops.sigmoid, ops.tanh])
+    def test_grad(self, op, rng):
+        arrays = {"x": rng.uniform(-1, 1, (3, 3))}
+        check_gradients(lambda t: op(t["x"]).sum(), arrays)
+
+    def test_log_sqrt_grad(self, rng):
+        arrays = {"x": rng.uniform(0.5, 2.0, (4,))}
+        check_gradients(lambda t: (ops.log(t["x"]) + ops.sqrt(t["x"])).sum(), arrays)
+
+    def test_relu_forward_and_grad(self):
+        x = Tensor(np.array([-1.0, 0.5, 2.0]), requires_grad=True)
+        out = ops.relu(x)
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 2.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_leaky_relu(self, rng):
+        x = np.array([-2.0, 3.0], dtype=np.float32)
+        out = ops.leaky_relu(Tensor(x), 0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0], rtol=1e-6)
+        arrays = {"x": rng.uniform(-2, 2, (5,)) + 0.01}
+        check_gradients(lambda t: ops.leaky_relu(t["x"], 0.2).sum(), arrays)
+
+    def test_elu(self, rng):
+        arrays = {"x": rng.uniform(-2, 2, (5,)) + 0.01}
+        check_gradients(lambda t: ops.elu(t["x"]).sum(), arrays)
+
+    def test_clip_grad_zero_outside(self):
+        x = Tensor(np.array([-5.0, 0.0, 5.0]), requires_grad=True)
+        ops.clip(x, -1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = rng.standard_normal((4, 7)).astype(np.float32)
+        out = ops.softmax(Tensor(x)).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_softmax_shift_invariance(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            ops.softmax(Tensor(x)).data, ops.softmax(Tensor(x + 100.0)).data, atol=1e-6
+        )
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            ops.log_softmax(Tensor(x)).data,
+            np.log(ops.softmax(Tensor(x)).data),
+            rtol=1e-5,
+            atol=1e-6,
+        )
+
+    def test_softmax_grad(self, rng):
+        arrays = {"x": rng.standard_normal((3, 4))}
+        check_gradients(lambda t: (ops.softmax(t["x"]) ** 2).sum(), arrays)
+
+    def test_log_softmax_grad(self, rng):
+        arrays = {"x": rng.standard_normal((2, 5))}
+        check_gradients(lambda t: (ops.log_softmax(t["x"]) * 0.3).sum(), arrays)
+
+    def test_softmax_extreme_values_stable(self):
+        x = Tensor(np.array([[1000.0, -1000.0]]))
+        out = ops.softmax(x).data
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [[1.0, 0.0]], atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((10, 10)).astype(np.float32))
+        out = ops.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_expected_scale_preserved(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = ops.dropout(x, 0.3, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.02
+        kept = out.data[out.data != 0]
+        np.testing.assert_allclose(kept, 1.0 / 0.7, rtol=1e-5)
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+
+class TestConcat:
+    def test_forward_and_grad(self, rng):
+        arrays = {"a": rng.standard_normal((3, 2)), "b": rng.standard_normal((3, 4))}
+        check_gradients(
+            lambda t: (ops.concat([t["a"], t["b"]], axis=1) ** 2).sum(), arrays
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ops.concat([])
+
+
+class TestGatherRows:
+    def test_forward(self, rng):
+        x = rng.standard_normal((5, 3)).astype(np.float32)
+        idx = np.array([4, 0, 0, 2])
+        np.testing.assert_allclose(ops.gather_rows(Tensor(x), idx).data, x[idx])
+
+    def test_grad_accumulates_duplicates(self):
+        x = Tensor(np.zeros((3, 2)), requires_grad=True)
+        out = ops.gather_rows(x, np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [[0, 0], [2, 2], [1, 1]])
+
+    def test_3d_gather(self, rng):
+        x = rng.standard_normal((4, 2, 3)).astype(np.float32)
+        idx = np.array([3, 1])
+        np.testing.assert_allclose(ops.gather_rows(Tensor(x), idx).data, x[idx])
+
+
+class TestSegmentOps:
+    def test_segment_sum_forward(self):
+        vals = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = ops.segment_sum(vals, np.array([0, 0, 2, 2]), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [0.0], [7.0]])
+
+    def test_segment_sum_grad_is_gather(self, rng):
+        arrays = {"v": rng.standard_normal((6, 3))}
+        seg = np.array([0, 1, 1, 2, 2, 2])
+        check_gradients(lambda t: (ops.segment_sum(t["v"], seg, 4) ** 2).sum(), arrays)
+
+    def test_segment_sum_validates_range(self):
+        with pytest.raises(ValueError):
+            ops.segment_sum(Tensor(np.ones((2, 1))), np.array([0, 5]), 3)
+
+    def test_segment_mean_empty_segment_zero(self):
+        vals = Tensor(np.array([[2.0], [4.0]]))
+        out = ops.segment_mean(vals, np.array([0, 0]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [0.0]])
+
+    def test_segment_mean_grad(self, rng):
+        arrays = {"v": rng.standard_normal((5, 2))}
+        seg = np.array([0, 0, 1, 1, 1])
+        check_gradients(lambda t: (ops.segment_mean(t["v"], seg, 2) ** 2).sum(), arrays)
+
+    def test_segment_max_forward(self):
+        vals = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0]]))
+        out = ops.segment_max(vals, np.array([0, 0, 1]), 3)
+        np.testing.assert_allclose(out.data, [[3.0, 5.0], [0.0, 0.0], [0.0, 0.0]])
+
+    def test_segment_max_grad_routes_to_winner(self, rng):
+        arrays = {"v": rng.standard_normal((6, 3))}
+        seg = np.array([0, 0, 0, 1, 1, 1])
+        check_gradients(lambda t: (ops.segment_max(t["v"], seg, 2) ** 2).sum(), arrays)
+
+    def test_segment_softmax_sums_to_one_per_segment(self, rng):
+        scores = Tensor(rng.standard_normal((7, 2)).astype(np.float32))
+        seg = np.array([0, 0, 0, 1, 1, 2, 2])
+        out = ops.segment_softmax(scores, seg, 3).data
+        for s in range(3):
+            np.testing.assert_allclose(out[seg == s].sum(axis=0), np.ones(2), rtol=1e-5)
+
+    def test_segment_softmax_grad(self, rng):
+        arrays = {"s": rng.standard_normal((5,))}
+        seg = np.array([0, 0, 1, 1, 1])
+        check_gradients(
+            lambda t: (ops.segment_softmax(t["s"], seg, 2) ** 2).sum(), arrays
+        )
+
+    def test_segment_softmax_extreme_scores_stable(self):
+        scores = Tensor(np.array([500.0, -500.0, 400.0]))
+        out = ops.segment_softmax(scores, np.array([0, 0, 1]), 2).data
+        assert np.isfinite(out).all()
+
+    @given(
+        n_seg=st.integers(1, 6),
+        rows=st.integers(0, 30),
+        cols=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_sum_equals_dense_matmul(self, n_seg, rows, cols, seed):
+        """Property: segment-sum == one-hot matrix multiplication."""
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal((rows, cols)).astype(np.float32)
+        seg = rng.integers(0, n_seg, rows)
+        onehot = np.zeros((n_seg, rows), dtype=np.float32)
+        if rows:
+            onehot[seg, np.arange(rows)] = 1.0
+        got = ops.segment_sum(Tensor(vals), seg, n_seg).data
+        np.testing.assert_allclose(got, onehot @ vals, rtol=1e-4, atol=1e-5)

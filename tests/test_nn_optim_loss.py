@@ -1,0 +1,135 @@
+"""Optimizers (local + server-side update rules) and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor, bce_with_logits_loss, l2_regularization, softmax_cross_entropy
+from repro.nn.module import Parameter
+from repro.nn.optim import AdamState, adam_update, sgd_update
+
+from .helpers import check_gradients
+
+
+class TestUpdateRules:
+    def test_sgd_plain(self):
+        value = np.array([1.0, 2.0], dtype=np.float32)
+        sgd_update(value, np.array([0.5, 0.5], dtype=np.float32), None, lr=0.1)
+        np.testing.assert_allclose(value, [0.95, 1.95])
+
+    def test_sgd_momentum_accumulates(self):
+        value = np.zeros(1, dtype=np.float32)
+        grad = np.ones(1, dtype=np.float32)
+        vel = sgd_update(value, grad, None, lr=1.0, momentum=0.9)
+        vel = sgd_update(value, grad, vel, lr=1.0, momentum=0.9)
+        # step1: v=1, x=-1 ; step2: v=1.9, x=-2.9
+        np.testing.assert_allclose(value, [-2.9], rtol=1e-6)
+
+    def test_sgd_weight_decay(self):
+        value = np.array([1.0], dtype=np.float32)
+        sgd_update(value, np.zeros(1, dtype=np.float32), None, lr=0.1, weight_decay=0.5)
+        np.testing.assert_allclose(value, [0.95])
+
+    def test_adam_first_step_is_lr_sized(self):
+        # Bias correction makes the first Adam step ~= lr * sign(grad).
+        value = np.zeros(3, dtype=np.float32)
+        state = AdamState.like(value)
+        adam_update(value, np.array([1.0, -2.0, 0.5], dtype=np.float32), state, lr=0.01)
+        np.testing.assert_allclose(value, [-0.01, 0.01, -0.01], atol=1e-6)
+
+    def test_adam_state_steps(self):
+        value = np.zeros(1, dtype=np.float32)
+        state = AdamState.like(value)
+        for _ in range(5):
+            adam_update(value, np.ones(1, dtype=np.float32), state, lr=0.1)
+        assert state.step == 5
+        assert value[0] < 0
+
+
+class TestOptimizers:
+    def _quadratic_param(self):
+        return Parameter(np.array([5.0, -3.0], dtype=np.float32))
+
+    @pytest.mark.parametrize("cls,kwargs", [(SGD, {"lr": 0.1}), (Adam, {"lr": 0.2})])
+    def test_minimises_quadratic(self, cls, kwargs):
+        p = self._quadratic_param()
+        opt = cls([p], **kwargs)
+        for _ in range(200):
+            opt.zero_grad()
+            (p**2).sum().backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, [0.0, 0.0], atol=1e-2)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([self._quadratic_param()], lr=0.0)
+
+    def test_skips_params_without_grad(self):
+        p, q = self._quadratic_param(), self._quadratic_param()
+        opt = SGD([p, q], lr=0.1)
+        (p**2).sum().backward()
+        before = q.data.copy()
+        opt.step()
+        np.testing.assert_allclose(q.data, before)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((4, 7)), requires_grad=True)
+        loss = softmax_cross_entropy(logits, np.zeros(4, dtype=np.int64))
+        np.testing.assert_allclose(loss.item(), np.log(7), rtol=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = softmax_cross_entropy(Tensor(logits, requires_grad=True), np.array([1, 2]))
+        assert loss.item() < 1e-4
+
+    def test_gradient(self, rng):
+        labels = np.array([0, 2, 1])
+        arrays = {"z": rng.standard_normal((3, 4))}
+        check_gradients(lambda t: softmax_cross_entropy(t["z"], labels), arrays)
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 3]))
+
+
+class TestBCEWithLogits:
+    def test_matches_reference(self, rng):
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        t = (rng.random((5, 4)) < 0.5).astype(np.float32)
+        expected = np.mean(
+            np.maximum(x, 0) - x * t + np.log1p(np.exp(-np.abs(x)))
+        )
+        got = bce_with_logits_loss(Tensor(x), t).item()
+        np.testing.assert_allclose(got, expected, rtol=1e-5)
+
+    def test_extreme_logits_stable(self):
+        x = Tensor(np.array([[1000.0, -1000.0]]), requires_grad=True)
+        loss = bce_with_logits_loss(x, np.array([[1.0, 0.0]], dtype=np.float32))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-5
+
+    def test_gradient(self, rng):
+        targets = (rng.random((3, 2)) < 0.5).astype(np.float32)
+        arrays = {"z": rng.standard_normal((3, 2))}
+        check_gradients(lambda t: bce_with_logits_loss(t["z"], targets), arrays)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bce_with_logits_loss(Tensor(np.zeros((2, 2))), np.zeros((2, 3)))
+
+
+class TestL2:
+    def test_value(self):
+        params = [Tensor(np.array([3.0]), requires_grad=True), Tensor(np.array([4.0]))]
+        np.testing.assert_allclose(l2_regularization(params, 0.5).item(), 12.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            l2_regularization([], 0.1)
