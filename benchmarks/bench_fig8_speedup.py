@@ -1,11 +1,18 @@
-"""Figure 8 — training speedup vs number of workers.
+"""Figure 8 — speedup vs number of workers.
 
-Two parts (see DESIGN.md substitution #2 / #6):
+Three parts (see DESIGN.md substitution #2 / #6):
 
-1. **Measured**: per-batch model-computation time and parameter payload are
-   measured on this machine with the real trainer; real 2-worker thread
-   speedup is reported for calibration (this box has 2 cores).
-2. **Simulated**: the measured costs drive the discrete-event cluster model
+1. **Measured (GraphFlat)**: actual wall-clock of the GraphFlat pipeline
+   under the ``processes`` MapReduce backend at 1/2/4/8 workers against the
+   serial backend, on the synthetic benchmark graph.  This is the paper's
+   Fig. 8 GraphFlat claim run for real: same bytes out, different wall
+   clock.  Interpretation requires ``os.cpu_count()`` context — on a
+   single-core container every extra worker is pure serialization overhead,
+   while the per-round spill pickling parallelizes across cores on real
+   hardware.
+2. **Measured (training)**: per-batch model-computation time and parameter
+   payload are measured on this machine with the real trainer.
+3. **Simulated**: the measured costs drive the discrete-event cluster model
    (FCFS parameter-server shards, worker jitter) for 1..100 workers — the
    regime the paper measures on a physical cluster.
 
@@ -15,15 +22,73 @@ workers), slope degrading gracefully as PS shards saturate.
 
 from __future__ import annotations
 
+import os
+import time
+
 import numpy as np
 
+from repro.core.graphflat import GraphFlatConfig, graph_flat
 from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.mapreduce import LocalRuntime
 from repro.nn.gnn import GATModel
 from repro.ps import ClusterModel, simulate_speedup
 
 from .conftest import emit
 
 WORKER_COUNTS = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+FLAT_WORKER_COUNTS = [1, 2, 4, 8]
+
+
+def bench_fig8_graphflat_worker_scaling(benchmark, bench_uug):
+    """GraphFlat wall-clock scaling: serial vs ``processes`` x 1/2/4/8."""
+    ds = bench_uug
+    targets = ds.train_ids[:800]
+    config = GraphFlatConfig(
+        hops=2, max_neighbors=10, hub_threshold=200, sampling="weighted",
+        num_reducers=8, seed=0,
+    )
+
+    def run_serial():
+        return graph_flat(ds.nodes, ds.edges, targets, config)
+
+    baseline = benchmark.pedantic(run_serial, rounds=1, warmup_rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    serial_result = run_serial()
+    serial_seconds = time.perf_counter() - t0
+
+    rows = [("serial", 1, serial_seconds, 1.0, True)]
+    for workers in FLAT_WORKER_COUNTS:
+        with LocalRuntime(backend="processes", max_workers=workers) as runtime:
+            t0 = time.perf_counter()
+            result = graph_flat(ds.nodes, ds.edges, targets, config, runtime)
+            seconds = time.perf_counter() - t0
+        rows.append(
+            (
+                "processes", workers, seconds, serial_seconds / seconds,
+                result.samples == serial_result.samples,
+            )
+        )
+    assert baseline.samples == serial_result.samples
+
+    lines = [
+        f"host cores: {os.cpu_count()} (speedup is bounded by physical cores;",
+        "the per-round spill serialization runs inside the workers and",
+        "parallelizes with them, so single-core hosts only see its cost)",
+        "",
+        f"{'backend':>10}{'workers':>9}{'seconds':>10}{'speedup':>9}{'identical':>11}",
+        "-" * 49,
+    ]
+    for backend, workers, seconds, speedup, identical in rows:
+        lines.append(
+            f"{backend:>10}{workers:>9}{seconds:>10.2f}{speedup:>9.2f}"
+            f"{str(identical):>11}"
+        )
+    lines += [
+        "",
+        "acceptance shape (>= 4 cores): >1.5x at 4 workers, byte-identical",
+        "output at every worker count.",
+    ]
+    emit("fig8_graphflat_scaling", "\n".join(lines))
 
 
 def bench_fig8(benchmark, bench_uug, uug_flat):

@@ -23,7 +23,7 @@ from repro.core.graphflat import SAMPLING_REGISTRY, GraphFlatConfig, graph_flat
 from repro.core.infer import GraphInferConfig, graph_infer
 from repro.core.trainer import GraphTrainer, TrainerConfig, decode_samples
 from repro.datasets.io import read_edge_table, read_node_table
-from repro.mapreduce import DistFileSystem, LocalRuntime
+from repro.mapreduce import BACKEND_REGISTRY, DistFileSystem
 from repro.nn.gnn import MODEL_REGISTRY, build_model
 
 __all__ = ["main", "save_model", "load_model"]
@@ -50,13 +50,29 @@ def load_model(path: str | Path):
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--dfs", required=True, help="root directory of the local DFS")
-    parser.add_argument("--workers", type=int, default=2, help="runtime thread workers")
+    parser.add_argument(
+        "--backend",
+        choices=["auto", *sorted(BACKEND_REGISTRY)],
+        default="auto",
+        help="MapReduce backend; 'auto' picks threads when --num-workers > 1, "
+        "'processes' gives true multi-core scaling",
+    )
+    parser.add_argument(
+        "--num-workers", "--workers", dest="num_workers", type=int, default=2,
+        help="map/reduce worker count for the pooled backends",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None,
+        help="shuffle spill directory (out-of-core); processes backend spills "
+        "to a private temp dir by default",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _runtime(args) -> LocalRuntime:
-    backend = "threads" if args.workers > 1 else "serial"
-    return LocalRuntime(backend=backend, max_workers=args.workers)
+def _backend_name(args) -> str:
+    if args.backend != "auto":
+        return args.backend
+    return "threads" if args.num_workers > 1 else "serial"
 
 
 def _cmd_graphflat(args) -> int:
@@ -72,11 +88,13 @@ def _cmd_graphflat(args) -> int:
         hub_threshold=args.hub_threshold,
         num_shards=args.shards,
         seed=args.seed,
+        backend=_backend_name(args),
+        num_workers=args.num_workers,
+        spill_dir=args.spill_dir,
     )
     fs = DistFileSystem(args.dfs)
-    result = graph_flat(
-        nodes, edges, targets, config, _runtime(args), fs, args.output
-    )
+    # The config owns the runtime (graph_flat builds and closes it).
+    result = graph_flat(nodes, edges, targets, config, fs=fs, dataset_name=args.output)
     print(
         f"GraphFlat: wrote {result.num_targets} GraphFeatures to "
         f"{args.dfs}/{args.output} ({len(result.hub_nodes)} hub nodes re-indexed, "
@@ -180,13 +198,16 @@ def _cmd_graphinfer(args) -> int:
         hub_threshold=args.hub_threshold,
         num_shards=args.shards,
         seed=args.seed,
+        backend=_backend_name(args),
+        num_workers=args.num_workers,
+        spill_dir=args.spill_dir,
     )
     targets = None
     if args.targets:
         targets = np.loadtxt(args.targets, dtype=np.int64, ndmin=1)
     fs = DistFileSystem(args.dfs)
     result = graph_infer(
-        model, nodes, edges, config, _runtime(args), fs, args.output, targets=targets
+        model, nodes, edges, config, fs=fs, dataset_name=args.output, targets=targets
     )
     print(
         f"GraphInfer: scored {result.num_nodes} nodes "

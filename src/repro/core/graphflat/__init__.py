@@ -16,9 +16,19 @@ from repro.core.graphflat.sampling import (
     WeightedSampling,
     make_sampler,
 )
-from repro.core.graphflat.pipeline import GraphFlatConfig, GraphFlatResult, graph_flat
+from repro.core.graphflat.pipeline import (
+    GraphFlatConfig,
+    GraphFlatResult,
+    MergeReducer,
+    PartialReducer,
+    PrepareReducer,
+    graph_flat,
+)
 
 __all__ = [
+    "MergeReducer",
+    "PartialReducer",
+    "PrepareReducer",
     "SubgraphInfo",
     "InEdgeInfo",
     "OutEdgeInfo",

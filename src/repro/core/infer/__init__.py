@@ -10,12 +10,26 @@ above pipeline", unlike the original GraphFeature-based module
 """
 
 from repro.core.infer.segmentation import ModelSlice, segment_model
-from repro.core.infer.pipeline import GraphInferConfig, GraphInferResult, graph_infer
+from repro.core.infer.pipeline import (
+    EmbeddingReducer,
+    GraphInferConfig,
+    GraphInferResult,
+    InferPartialReducer,
+    InferPrepareReducer,
+    PredictionReducer,
+    ReceptiveField,
+    graph_infer,
+)
 
 __all__ = [
     "ModelSlice",
     "segment_model",
+    "EmbeddingReducer",
     "GraphInferConfig",
     "GraphInferResult",
+    "InferPartialReducer",
+    "InferPrepareReducer",
+    "PredictionReducer",
+    "ReceptiveField",
     "graph_infer",
 ]

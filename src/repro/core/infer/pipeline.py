@@ -16,6 +16,7 @@ float tolerance — an integration test asserts this.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +31,16 @@ from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.nn.gnn.base import GNNModel
 from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
 
-__all__ = ["GraphInferConfig", "GraphInferResult", "graph_infer"]
+__all__ = [
+    "EmbeddingReducer",
+    "GraphInferConfig",
+    "GraphInferResult",
+    "InferPartialReducer",
+    "InferPrepareReducer",
+    "PredictionReducer",
+    "ReceptiveField",
+    "graph_infer",
+]
 
 
 @dataclass
@@ -65,6 +75,21 @@ class GraphInferConfig:
     num_shards: int = 4
     seed: int = 0
     validate: bool = True
+    backend: str = "serial"
+    """MapReduce backend (``serial`` / ``threads`` / ``processes``) used
+    when no explicit runtime is passed to :func:`graph_infer`."""
+    num_workers: int | None = None
+    """Worker count for the pooled backends; ``None`` = backend default."""
+    spill_dir: str | None = None
+    """Shuffle spill directory; ``None`` = in-memory (serial/threads) or a
+    private temp dir (processes)."""
+
+    def make_runtime(self) -> LocalRuntime:
+        return LocalRuntime(
+            backend=self.backend,
+            max_workers=self.num_workers,
+            spill_dir=self.spill_dir,
+        )
 
 
 @dataclass
@@ -148,7 +173,27 @@ def graph_infer(
     (tested).
     """
     config = config or GraphInferConfig()
-    runtime = runtime or LocalRuntime()
+    owns_runtime = runtime is None
+    runtime = runtime or config.make_runtime()
+    try:
+        return _graph_infer(
+            model, nodes, edges, config, runtime, fs, dataset_name, targets
+        )
+    finally:
+        if owns_runtime:
+            runtime.close()
+
+
+def _graph_infer(
+    model: GNNModel,
+    nodes: NodeTable,
+    edges: EdgeTable,
+    config: GraphInferConfig,
+    runtime: LocalRuntime,
+    fs: DistFileSystem | None,
+    dataset_name: str,
+    targets,
+) -> GraphInferResult:
     if config.validate:
         validate_tables(nodes, edges)
     edges = edges.coalesce()  # must match GraphFlat's canonical adjacency
@@ -172,57 +217,54 @@ def graph_infer(
     in_deg: dict[int, int] = {}
     for dst in edges.dst:
         in_deg[int(dst)] = in_deg.get(int(dst), 0) + 1
-    hubs = {v for v, d in in_deg.items() if d > config.hub_threshold}
+    hubs = frozenset(v for v, d in in_deg.items() if d > config.hub_threshold)
     reindex_active = bool(hubs)
 
     # ---- Map: self embedding h^(0) = x, out-edges, propagate h^(0) --------
     total_rounds = len(gnn_slices)
-
-    def needed(node_id: int, k: int) -> bool:
-        """Is node's layer-k embedding inside a target's receptive field?"""
-        if distance is None:
-            return True
-        return distance.get(node_id, total_rounds + 1) <= total_rounds - k
+    needed = ReceptiveField(distance, total_rounds)
 
     node_rows = [(int(i), ("node", feat)) for i, feat, _ in nodes.rows()]
     edge_rows = [(int(s), (int(s), int(d), float(w), f)) for s, d, f, w in edges.rows()]
-    prepare = MapReduceJob(
-        "graphinfer-map",
-        _make_prepare_reducer(hubs, config.reindex_fanout, reindex_active, needed),
-        num_reducers=config.num_reducers,
-    )
-    data = runtime.run(prepare, node_rows + edge_rows)
-    stats = [runtime.last_stats]
-
-    # ---- K embedding rounds -------------------------------------------------
-    for k, mslice in enumerate(gnn_slices, start=1):
-        if reindex_active:
-            partial = MapReduceJob(
-                f"graphinfer-reduce{k}-reindex",
-                _make_partial_reducer(sampler, k, config.reindex_fanout),
-                num_reducers=config.num_reducers,
-            )
-            data = runtime.run(partial, data)
-            stats.append(runtime.last_stats)
-        job = MapReduceJob(
-            f"graphinfer-reduce{k}",
-            _make_embedding_reducer(
-                mslice, sampler, k, total_rounds, hubs, config.reindex_fanout,
-                reindex_active, needed,
-            ),
+    jobs = [
+        MapReduceJob(
+            "graphinfer-map",
+            InferPrepareReducer(hubs, config.reindex_fanout, reindex_active, needed),
             num_reducers=config.num_reducers,
         )
-        data = runtime.run(job, data)
-        stats.append(runtime.last_stats)
+    ]
 
-    # ---- final round: the prediction slice ---------------------------------
-    predict = MapReduceJob(
-        "graphinfer-predict",
-        _make_prediction_reducer(head_slice),
-        num_reducers=config.num_reducers,
+    # ---- K embedding rounds, then the prediction slice, chained: every
+    # round is reduce-only, so partitions flow reducer-to-reducer without
+    # funneling embeddings through this process.
+    for k, mslice in enumerate(gnn_slices, start=1):
+        if reindex_active:
+            jobs.append(
+                MapReduceJob(
+                    f"graphinfer-reduce{k}-reindex",
+                    InferPartialReducer(sampler, k, config.reindex_fanout),
+                    num_reducers=config.num_reducers,
+                )
+            )
+        jobs.append(
+            MapReduceJob(
+                f"graphinfer-reduce{k}",
+                EmbeddingReducer(
+                    mslice, sampler, k, total_rounds, hubs, config.reindex_fanout,
+                    reindex_active, needed,
+                ),
+                num_reducers=config.num_reducers,
+            )
+        )
+    jobs.append(
+        MapReduceJob(
+            "graphinfer-predict",
+            PredictionReducer(head_slice),
+            num_reducers=config.num_reducers,
+        )
     )
-    data = runtime.run(predict, data)
-    stats.append(runtime.last_stats)
+    data = runtime.run_rounds(jobs, node_rows + edge_rows)
+    stats = list(runtime.round_stats)
 
     if distance is None:
         embedding_computations = len(nodes) * total_rounds
@@ -252,8 +294,6 @@ def graph_infer(
 
 # --------------------------------------------------------------------- keys
 def _suffix_key(dst: int, src: int, hubs, fanout, reindex_active):
-    import zlib
-
     if not reindex_active:
         return dst
     if dst in hubs:
@@ -267,8 +307,31 @@ def _plain_key(node_id: int, reindex_active: bool):
 
 
 # ----------------------------------------------------------------- reducers
-def _make_prepare_reducer(hubs, fanout, reindex_active, needed):
-    def reducer(node_id, values):
+# Callable dataclasses (not closures) so jobs pickle to worker processes.
+
+
+@dataclass(frozen=True)
+class ReceptiveField:
+    """Targeted-inference pruning predicate: is a node's layer-k embedding
+    inside some target's receptive field?  ``distance=None`` = everything."""
+
+    distance: dict[int, int] | None
+    total_rounds: int
+
+    def __call__(self, node_id: int, k: int) -> bool:
+        if self.distance is None:
+            return True
+        return self.distance.get(node_id, self.total_rounds + 1) <= self.total_rounds - k
+
+
+@dataclass(frozen=True)
+class InferPrepareReducer:
+    hubs: frozenset[int]
+    fanout: int
+    reindex_active: bool
+    needed: ReceptiveField
+
+    def __call__(self, node_id, values):
         feature = None
         outs: list[_OutEdge] = []
         for value in values:
@@ -281,48 +344,67 @@ def _make_prepare_reducer(hubs, fanout, reindex_active, needed):
             return
         # Targeted-inference pruning: a node outside every target's
         # receptive field contributes nothing to any round.
-        if not needed(int(node_id), 0):
+        if not self.needed(int(node_id), 0):
             return
         h0 = np.asarray(feature, dtype=np.float32)
-        yield _plain_key(int(node_id), reindex_active), ("self", h0)
+        yield _plain_key(int(node_id), self.reindex_active), ("self", h0)
         if outs:
-            yield _plain_key(int(node_id), reindex_active), ("out", outs)
+            yield _plain_key(int(node_id), self.reindex_active), ("out", outs)
             for out in outs:
-                if not needed(out.dst, 1):
+                if not self.needed(out.dst, 1):
                     continue
-                key = _suffix_key(out.dst, int(node_id), hubs, fanout, reindex_active)
+                key = _suffix_key(
+                    out.dst, int(node_id), self.hubs, self.fanout, self.reindex_active
+                )
                 yield key, ("in", _InEmb(int(node_id), out.weight, out.edge_feat, h0))
 
-    return reducer
 
+@dataclass(frozen=True)
+class InferPartialReducer:
+    sampler: SamplingStrategy
+    round_index: int
+    fanout: int
 
-def _make_partial_reducer(sampler: SamplingStrategy, round_index: int, fanout: int):
-    def reducer(key, values):
+    def __call__(self, key, values):
         node_id, sfx = key
         if sfx == 0:
             for value in values:
                 yield node_id, value
             return
         in_embs = [value[1] for value in values]
-        yield node_id, ("partial", sampler.select(in_embs, node_id, salt=sfx))
-
-    return reducer
+        yield node_id, ("partial", self.sampler.select(in_embs, node_id, salt=sfx))
 
 
-def _make_embedding_reducer(
-    mslice: ModelSlice,
-    sampler: SamplingStrategy,
-    round_index: int,
-    total_rounds: int,
-    hubs,
-    fanout: int,
-    reindex_active: bool,
-    needed=lambda node_id, k: True,
-):
-    layer = mslice.materialize()  # loaded once per round, shared by groups
-    last = round_index == total_rounds
+@dataclass
+class EmbeddingReducer:
+    """One GNN layer's Reduce round.  Ships the picklable :class:`ModelSlice`
+    and materializes the runnable layer lazily, once per process — exactly
+    the production "each reducer loads its model slice" behavior (§3.4)."""
 
-    def reducer(node_id, values):
+    mslice: ModelSlice
+    sampler: SamplingStrategy
+    round_index: int
+    total_rounds: int
+    hubs: frozenset[int]
+    fanout: int
+    reindex_active: bool
+    needed: ReceptiveField
+
+    def __post_init__(self):
+        self._layer = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_layer"] = None  # rebuilt lazily on the other side
+        return state
+
+    @property
+    def layer(self):
+        if self._layer is None:
+            self._layer = self.mslice.materialize()
+        return self._layer
+
+    def __call__(self, node_id, values):
         self_h: np.ndarray | None = None
         outs: list[_OutEdge] = []
         ins: list[_InEmb] = []
@@ -342,9 +424,9 @@ def _make_embedding_reducer(
             return
         # Targeted-inference pruning: this round's embedding is only
         # computed for nodes still inside a target's receptive field.
-        if not needed(node_id, round_index):
+        if not self.needed(node_id, self.round_index):
             return
-        sampled = sampler.select(ins, node_id, salt=0)
+        sampled = self.sampler.select(ins, node_id, salt=0)
         if sampled:
             neigh_h = np.stack([e.h for e in sampled])
             neigh_w = np.asarray([e.weight for e in sampled], dtype=np.float32)
@@ -357,35 +439,50 @@ def _make_embedding_reducer(
             neigh_h = np.zeros((0, len(self_h)), dtype=np.float32)
             neigh_w = np.zeros(0, dtype=np.float32)
             edge_feat = None
-        h_next = layer.infer_node(self_h, neigh_h, neigh_w, edge_feat)
+        h_next = self.layer.infer_node(self_h, neigh_h, neigh_w, edge_feat)
 
-        if last:
+        if self.round_index == self.total_rounds:
             # "in the Kth round ... only need to output it rather than all of
             # the three information to the last Reduce phase" (§3.4).
             yield node_id, ("self", h_next)
             return
-        yield _plain_key(node_id, reindex_active), ("self", h_next)
+        yield _plain_key(node_id, self.reindex_active), ("self", h_next)
         if outs:
-            yield _plain_key(node_id, reindex_active), ("out", outs)
+            yield _plain_key(node_id, self.reindex_active), ("out", outs)
             for out in outs:
-                if not needed(out.dst, round_index + 1):
+                if not self.needed(out.dst, self.round_index + 1):
                     continue
-                key = _suffix_key(out.dst, node_id, hubs, fanout, reindex_active)
+                key = _suffix_key(
+                    out.dst, node_id, self.hubs, self.fanout, self.reindex_active
+                )
                 yield key, ("in", _InEmb(node_id, out.weight, out.edge_feat, h_next))
 
-    return reducer
 
+@dataclass
+class PredictionReducer:
+    """The K+1th slice: the prediction head, materialized lazily per process."""
 
-def _make_prediction_reducer(head_slice: ModelSlice):
-    head = head_slice.materialize()
+    head_slice: ModelSlice
 
-    def reducer(node_id, values):
+    def __post_init__(self):
+        self._head = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_head"] = None
+        return state
+
+    @property
+    def head(self):
+        if self._head is None:
+            self._head = self.head_slice.materialize()
+        return self._head
+
+    def __call__(self, node_id, values):
         for value in values:
             if value[0] == "self":
                 h = value[1]
-                scores = h @ head.weight.data
-                if head.bias is not None:
-                    scores = scores + head.bias.data
+                scores = h @ self.head.weight.data
+                if self.head.bias is not None:
+                    scores = scores + self.head.bias.data
                 yield node_id, scores.astype(np.float32)
-
-    return reducer

@@ -6,8 +6,10 @@ This package reproduces the programming contract those pipelines rely on:
 
 * ``MapReduceJob`` — mapper / optional combiner / reducer over key-value
   pairs, with a deterministic hash partitioner;
-* ``LocalRuntime`` — serial and thread-pool backends, multi-round chaining,
-  optional disk spill of shuffle partitions (out-of-core operation);
+* ``LocalRuntime`` — pluggable ``serial`` / ``threads`` / ``processes``
+  backends (see ``BACKEND_REGISTRY``), multi-round chaining, and a
+  partitioned disk-spill shuffle (out-of-core operation; mandatory under
+  the process backend so records never funnel through the parent);
 * ``FailureInjector`` — injects worker failures so tests can assert that
   task re-execution produces byte-identical output (the fault-tolerance
   property the paper gets for free from mature infrastructure);
@@ -15,19 +17,34 @@ This package reproduces the programming contract those pipelines rely on:
   stores GraphFlat's sharded outputs.
 """
 
+from repro.mapreduce.backends import (
+    BACKEND_REGISTRY,
+    Backend,
+    WorkerCrashError,
+    make_backend,
+    register_backend,
+)
 from repro.mapreduce.job import JobFailedError, MapReduceJob
-from repro.mapreduce.runtime import LocalRuntime
+from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
 from repro.mapreduce.fs import DistFileSystem
 from repro.mapreduce.shuffle import default_partition, key_bytes
+from repro.mapreduce.spill import SpillLayout
 
 __all__ = [
+    "BACKEND_REGISTRY",
+    "Backend",
     "MapReduceJob",
     "JobFailedError",
     "LocalRuntime",
+    "RunStats",
     "FailureInjector",
     "InjectedWorkerFailure",
+    "WorkerCrashError",
     "DistFileSystem",
+    "SpillLayout",
     "default_partition",
     "key_bytes",
+    "make_backend",
+    "register_backend",
 ]

@@ -1,0 +1,210 @@
+"""Pluggable execution backends for the local MapReduce runtime.
+
+A backend executes one *phase* — a batch of independent map or reduce
+tasks — and returns results in task order (never completion order), which
+is what keeps every backend byte-identical to ``serial``.
+
+* ``serial`` — everything in the calling thread; the reference semantics.
+* ``threads`` — a thread pool; concurrency for I/O-bound tasks, but the
+  GIL serialises pure-Python operator code.
+* ``processes`` — a ``ProcessPoolExecutor``; true multi-core execution.
+  Task functions and their arguments must be picklable (top-level
+  callables / callable dataclasses, not closures).  One coordinator
+  thread per task runs the retry loop in the parent — so failure
+  injection, attempt accounting and the shared injector cap behave
+  exactly as under ``serial`` — and each attempt ships the task to a
+  worker process.  A crashed worker (``BrokenProcessPool``) is handled
+  by rebuilding the pool and re-raising :class:`WorkerCrashError`, which
+  the runtime's retry loop treats like any other task failure: the task
+  is simply re-executed, MapReduce-style.
+
+New backends register themselves with :func:`register_backend`; the
+runtime looks them up by name in :data:`BACKEND_REGISTRY`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import weakref
+from collections.abc import Callable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "Backend",
+    "ProcessesBackend",
+    "SerialBackend",
+    "ThreadsBackend",
+    "WorkerCrashError",
+    "make_backend",
+    "register_backend",
+]
+
+BACKEND_REGISTRY: dict[str, type["Backend"]] = {}
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-task; the task attempt produced nothing."""
+
+
+def register_backend(name: str):
+    """Class decorator: make a :class:`Backend` constructible by name."""
+
+    def decorator(cls: type["Backend"]) -> type["Backend"]:
+        cls.name = name
+        BACKEND_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_backend(name: str, max_workers: int | None = None) -> "Backend":
+    try:
+        cls = BACKEND_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {sorted(BACKEND_REGISTRY)}"
+        ) from None
+    return cls(max_workers)
+
+
+class Backend:
+    """Executes batches of ``(task_id, fn, args)`` tasks with retries.
+
+    ``retrier(task_id, call)`` is supplied by the runtime: it wraps the
+    zero-argument ``call`` in the attempt loop (failure injection,
+    re-execution, attempt counting) and returns ``(result, attempts)``.
+    """
+
+    name = "abstract"
+    needs_pickling = False
+    """Whether task functions/arguments cross a process boundary."""
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+
+    def execute(
+        self,
+        tasks: list[tuple[str, Callable, tuple]],
+        retrier: Callable[[str, Callable], tuple],
+    ) -> list[tuple]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent)."""
+
+
+@register_backend("serial")
+class SerialBackend(Backend):
+    def execute(self, tasks, retrier):
+        return [retrier(tid, lambda fn=fn, args=args: fn(*args)) for tid, fn, args in tasks]
+
+
+@register_backend("threads")
+class ThreadsBackend(Backend):
+    def execute(self, tasks, retrier):
+        if len(tasks) <= 1:
+            return SerialBackend.execute(self, tasks, retrier)
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                pool.submit(retrier, tid, lambda fn=fn, args=args: fn(*args))
+                for tid, fn, args in tasks
+            ]
+            return [f.result() for f in futures]
+
+
+class _RemoteCall:
+    """Zero-argument attempt body: run ``fn(*args)`` in the process pool.
+
+    A dead worker breaks the whole pool, so on ``BrokenProcessPool`` the
+    backend discards it (the next attempt gets a fresh pool) and the
+    crash is surfaced as a retryable :class:`WorkerCrashError`.
+    """
+
+    def __init__(self, backend: "ProcessesBackend", fn, args):
+        self.backend = backend
+        self.fn = fn
+        self.args = args
+
+    def __call__(self):
+        pool, generation = self.backend._pool_handle()
+        try:
+            return pool.submit(self.fn, *self.args).result()
+        except BrokenProcessPool as exc:
+            self.backend._discard_pool(generation)
+            raise WorkerCrashError(
+                f"worker process died while running {getattr(self.fn, '__name__', self.fn)!r}"
+            ) from exc
+
+
+@register_backend("processes")
+class ProcessesBackend(Backend):
+    needs_pickling = True
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__(max_workers)
+        self._pool: ProcessPoolExecutor | None = None
+        self._generation = 0
+        self._lock = threading.Lock()
+        self._finalizer: weakref.finalize | None = None
+
+    # --------------------------------------------------------- pool lifecycle
+    def _pool_handle(self) -> tuple[ProcessPoolExecutor, int]:
+        """The live pool (created lazily, shared across phases and rounds)."""
+        with self._lock:
+            if self._pool is None:
+                # The parent is multi-threaded (one coordinator thread per
+                # task), so fork() is deadlock-prone; forkserver spawns
+                # workers from a clean single-threaded helper.  Jobs are
+                # already verified picklable, so no fork-only state is lost.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "forkserver" if "forkserver" in methods else None
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers or os.cpu_count() or 1,
+                    mp_context=context,
+                )
+                self._finalizer = weakref.finalize(
+                    self, ProcessPoolExecutor.shutdown, self._pool, wait=True
+                )
+            return self._pool, self._generation
+
+    def _discard_pool(self, generation: int) -> None:
+        """Drop a broken pool; concurrent callers only discard once."""
+        with self._lock:
+            if self._generation != generation or self._pool is None:
+                return
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._generation += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._generation += 1
+
+    # ---------------------------------------------------------------- execute
+    def execute(self, tasks, retrier):
+        if not tasks:
+            return []
+        # One coordinator thread per task keeps every task in flight while
+        # the retry loop (injection, attempt counts) runs parent-side
+        # against the shared injector — semantics identical to serial.
+        with ThreadPoolExecutor(max_workers=len(tasks)) as coordinators:
+            futures = [
+                coordinators.submit(retrier, tid, _RemoteCall(self, fn, args))
+                for tid, fn, args in tasks
+            ]
+            return [f.result() for f in futures]

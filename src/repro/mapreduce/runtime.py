@@ -1,34 +1,57 @@
 """Execution engine for :class:`~repro.mapreduce.job.MapReduceJob`.
 
-Backends:
+Backends (see :mod:`repro.mapreduce.backends` for the registry):
 
 * ``"serial"`` — everything in the calling thread; the reference semantics.
-* ``"threads"`` — map and reduce tasks on a thread pool.  Output is
-  position-ordered (task index, not completion order) so results are
-  deterministic and byte-identical to the serial backend.
+* ``"threads"`` — map and reduce tasks on a thread pool.
+* ``"processes"`` — map and reduce tasks in a ``ProcessPoolExecutor``:
+  true multi-core scaling (§3.2's near-linear GraphFlat speedup).  Job
+  operators must be picklable — top-level functions or callable
+  dataclasses, not closures.
+
+All backends produce position-ordered (task index, not completion order)
+output, so results are byte-identical to the serial backend.
 
 Fault tolerance: each task runs in an attempt loop.  An injected (or real)
-failure discards the attempt's output and re-executes the task, mirroring
-MapReduce's re-execution model.  Because tasks are pure functions of their
-input partition, retries cannot change job output — tests assert this.
+failure — including a crashed worker process — discards the attempt's
+output and re-executes the task, mirroring MapReduce's re-execution model.
+Because tasks are pure functions of their input partition, retries cannot
+change job output — tests assert this.
 
-Shuffle spill: with ``spill_dir`` set, shuffle partitions are pickled to disk
-between the map and reduce phases instead of being handed over in memory.
-This is how the pipeline stays out-of-core for graphs whose intermediate
-k-hop state exceeds RAM.
+Shuffle spill: with ``spill_dir`` set (or always under the ``processes``
+backend, which uses a private temp directory unless told otherwise), each
+map task spills one file per reduce partition and reducers merge their
+partition's files lazily (:mod:`repro.mapreduce.spill`).  Intermediate
+k-hop state therefore never has to fit in the parent's RAM, and worker
+processes exchange file paths and counters instead of every record.
+
+Chained rounds (:meth:`LocalRuntime.run_rounds`): when round ``i+1`` is a
+reduce-only job (identity mapper, no combiner — every GraphFlat/GraphInfer
+round is), round ``i``'s reducers partition their output *directly* for
+round ``i+1``'s reducers, and the identity map phase is skipped.  Under the
+process backend the partitions go to spill files, so intermediate records
+never travel through the parent at all — the parent only ever sees file
+counters between rounds, which is what makes multi-core scaling survive
+Python's serialization costs.  Record order is provably identical to the
+unchained execution (reduce-task order = the order identity map tasks would
+have preserved), so output stays byte-identical.
 """
 
 from __future__ import annotations
 
 import pickle
-from collections.abc import Iterable
-from concurrent.futures import ThreadPoolExecutor
+import shutil
+import tempfile
+import weakref
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.mapreduce.backends import Backend, WorkerCrashError, make_backend
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
-from repro.mapreduce.job import JobFailedError, MapReduceJob
+from repro.mapreduce.job import JobFailedError, MapReduceJob, identity_mapper
 from repro.mapreduce.shuffle import group_sorted
+from repro.mapreduce.spill import SpillLayout
 
 __all__ = ["LocalRuntime", "RunStats"]
 
@@ -53,6 +76,8 @@ class RunStats:
     the quantity hub re-indexing exists to bound (§3.2.2)."""
 
     def merge(self, other: "RunStats") -> None:
+        if not self.job:
+            self.job = other.job
         self.input_records += other.input_records
         self.mapped_records += other.mapped_records
         self.combined_records += other.combined_records
@@ -61,6 +86,10 @@ class RunStats:
         self.map_attempts += other.map_attempts
         self.reduce_attempts += other.reduce_attempts
         self.injected_failures += other.injected_failures
+        for partition, groups in other.reducer_group_sizes.items():
+            self.reducer_group_sizes[partition] = (
+                self.reducer_group_sizes.get(partition, 0) + groups
+            )
         self.max_group_values = max(self.max_group_values, other.max_group_values)
 
 
@@ -77,6 +106,152 @@ def _chunk(seq: list, n: int) -> list[list]:
     return chunks
 
 
+# --------------------------------------------------------- sources and sinks
+# Reduce tasks read their partition from a *source* and hand their output to
+# a *sink*.  All of these are picklable: under the "processes" backend they
+# ship to worker processes inside the task arguments.
+
+
+@dataclass(frozen=True)
+class _MemorySource:
+    pairs: list
+
+    def load(self) -> list:
+        return self.pairs
+
+
+@dataclass(frozen=True)
+class _SpillSource:
+    layout: SpillLayout
+    partition: int
+    num_map_tasks: int
+
+    def load(self) -> list:
+        return self.layout.read_partition(self.partition, self.num_map_tasks)
+
+
+@dataclass(frozen=True)
+class _CollectSink:
+    """Terminal round: reducer output pairs go back to the caller."""
+
+    def store(self, task_index: int, pairs: list):
+        return pairs
+
+
+def _partition_pairs(pairs: list, partitioner: Callable, num_partitions: int):
+    buckets: list[list[tuple]] = [[] for _ in range(num_partitions)]
+    for key, value in pairs:
+        buckets[partitioner(key, num_partitions)].append((key, value))
+    return buckets
+
+
+@dataclass(frozen=True)
+class _MemoryChainSink:
+    """Chained round (in-memory): partition output for the next round's
+    reducers; the skipped identity map phase would have done the same."""
+
+    partitioner: Callable
+    num_partitions: int
+
+    def store(self, task_index: int, pairs: list):
+        return _partition_pairs(pairs, self.partitioner, self.num_partitions)
+
+
+@dataclass(frozen=True)
+class _SpillChainSink:
+    """Chained round (spilled): partition output straight to the next
+    round's shuffle files; only counters go back to the parent."""
+
+    layout: SpillLayout
+    partitioner: Callable
+
+    def store(self, task_index: int, pairs: list):
+        buckets = _partition_pairs(pairs, self.partitioner, self.layout.num_partitions)
+        return self.layout.write_map_output(task_index, buckets)
+
+
+@dataclass
+class _ChainState:
+    """Parent-side handle on a chained round's pre-partitioned input."""
+
+    num_tasks: int
+    layout: SpillLayout | None = None
+    counts: list[list[int]] | None = None
+    buckets: list[list[list]] | None = None
+
+    @property
+    def total_records(self) -> int:
+        if self.counts is not None:
+            return sum(sum(c) for c in self.counts)
+        return sum(len(b) for task in self.buckets for b in task)
+
+    def source(self, partition: int):
+        if self.layout is not None:
+            return _SpillSource(self.layout, partition, self.num_tasks)
+        merged: list[tuple] = []
+        for task in self.buckets:
+            merged.extend(task[partition])
+        return _MemorySource(merged)
+
+    def cleanup(self) -> None:
+        if self.layout is not None:
+            # The layout owns a per-round private directory — removing it
+            # wholesale also drops .tmp partials from crashed attempts.
+            shutil.rmtree(self.layout.root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------- task bodies
+# Top-level functions: they (and their arguments) are pickled to worker
+# processes under the "processes" backend.
+
+
+def _map_chunk(job: MapReduceJob, chunk: list[tuple]):
+    """Map + partition + optional combine for one input chunk."""
+    out: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
+    mapped = 0
+    for key, value in chunk:
+        for out_key, out_value in job.mapper(key, value):
+            out[job.partitioner(out_key, job.num_reducers)].append((out_key, out_value))
+            mapped += 1
+    combined = 0
+    if job.combiner is not None:
+        for p in range(job.num_reducers):
+            squeezed: list[tuple] = []
+            for k, values in group_sorted(out[p]):
+                squeezed.extend(job.combiner(k, values))
+            out[p] = squeezed
+            combined += len(squeezed)
+    return out, mapped, combined
+
+
+def _map_task_memory(job: MapReduceJob, chunk: list[tuple]):
+    return _map_chunk(job, chunk)
+
+
+def _map_task_spill(job: MapReduceJob, chunk: list[tuple], spill: SpillLayout, index: int):
+    """Spilling map task: partition files go straight to disk; only the
+    per-partition counts travel back to the parent."""
+    buckets, mapped, combined = _map_chunk(job, chunk)
+    return spill.write_map_output(index, buckets), mapped, combined
+
+
+def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
+    pairs = source.load()
+    groups = group_sorted(pairs)
+    out: list[tuple] = []
+    biggest = 0
+    for key, values in groups:
+        biggest = max(biggest, len(values))
+        out.extend(job.reducer(key, values))
+    return sink.store(task_index, out), len(out), len(groups), biggest
+
+
+def _chainable(job: MapReduceJob) -> bool:
+    """A reduce-only round can consume the previous round's reducer output
+    directly (its identity map phase is a no-op to skip)."""
+    return job.mapper is identity_mapper and job.combiner is None
+
+
 class LocalRuntime:
     """Runs MapReduce jobs locally with retries and optional disk spill."""
 
@@ -88,46 +263,203 @@ class LocalRuntime:
         failure_injector: FailureInjector | None = None,
         spill_dir: str | Path | None = None,
     ):
-        if backend not in ("serial", "threads"):
-            raise ValueError(f"unknown backend {backend!r}")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        self._backend: Backend = make_backend(backend, max_workers)
         self.backend = backend
         self.max_workers = max_workers
         self.max_attempts = max_attempts
         self.injector = failure_injector
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._auto_spill_dir: Path | None = None
+        self._finalizer: weakref.finalize | None = None
         self.last_stats: RunStats | None = None
+        self.round_stats: list[RunStats] = []
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Shut down pooled workers and remove any private spill directory."""
+        self._backend.close()
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+            self._auto_spill_dir = None
+
+    def __enter__(self) -> "LocalRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ api
     def run(self, job: MapReduceJob, inputs: Iterable[tuple]) -> list[tuple]:
         """Execute one round; returns the reducer output pairs, ordered by
         (reduce partition, key order within partition)."""
-        pairs = list(inputs)
-        stats = RunStats(job=job.name, input_records=len(pairs))
-
-        map_outputs = self._map_phase(job, pairs, stats)
-        partitions = self._shuffle(job, map_outputs, stats)
-        output = self._reduce_phase(job, partitions, stats)
-
-        if self.injector is not None:
-            stats.injected_failures = self.injector.injected
+        if self._backend.needs_pickling:
+            self._check_shippable(job)
+        output, stats = self._run_one(job, list(inputs), incoming=None, next_job=None)
+        self.round_stats = [stats]
         self.last_stats = stats
         return output
 
     def run_rounds(self, jobs: list[MapReduceJob], inputs: Iterable[tuple]) -> list[tuple]:
         """Chain rounds: round i+1 consumes round i's output (GraphFlat's
-        'Reduce phase runs K times' is exactly this chaining)."""
+        'Reduce phase runs K times' is exactly this chaining).  Consecutive
+        reduce-only rounds hand partitions directly from reducer to reducer
+        — see the module docstring.  Per-round counters land in
+        ``round_stats``; ``last_stats`` holds their merge."""
         data = list(inputs)
+        if not jobs:
+            return data
+        if self._backend.needs_pickling:
+            for job in jobs:
+                self._check_shippable(job)
+        self.round_stats = []
         merged = RunStats(job="+".join(j.name for j in jobs))
-        for job in jobs:
-            data = self.run(job, data)
-            assert self.last_stats is not None
-            merged.merge(self.last_stats)
+        incoming: _ChainState | None = None
+        try:
+            for i, job in enumerate(jobs):
+                next_job = jobs[i + 1] if i + 1 < len(jobs) else None
+                if next_job is not None and not _chainable(next_job):
+                    next_job = None
+                # Round-unique spill namespace: consecutive jobs may share a
+                # name, and round i+1's chain input must not collide with
+                # the files round i+2's input is being written to.
+                chain_name = None if next_job is None else f"chain{i + 1:04d}.{next_job.name}"
+                result, stats = self._run_one(job, data, incoming, next_job, chain_name)
+                self.round_stats.append(stats)
+                merged.merge(stats)
+                if isinstance(result, _ChainState):
+                    incoming, data = result, []
+                else:
+                    incoming, data = None, result
+        finally:
+            if incoming is not None:  # exception mid-chain: drop spill files
+                incoming.cleanup()
         self.last_stats = merged
         return data
 
     # ------------------------------------------------------------ internals
+    def _check_shippable(self, job: MapReduceJob) -> None:
+        try:
+            pickle.dumps(job)
+        except Exception as exc:
+            raise TypeError(
+                f"job {job.name!r} cannot be shipped to worker processes "
+                f"({exc}); use top-level functions or callable dataclasses "
+                "for mapper/combiner/reducer/partitioner, not closures"
+            ) from exc
+
+    def _spill_root(self) -> str | None:
+        """Directory for shuffle files: the user's ``spill_dir``, a private
+        temp dir under the process backend, else ``None`` (in-memory)."""
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            return str(self.spill_dir)
+        if self._backend.needs_pickling:
+            if self._auto_spill_dir is None:
+                self._auto_spill_dir = Path(tempfile.mkdtemp(prefix="repro-mr-spill-"))
+                self._finalizer = weakref.finalize(
+                    self, shutil.rmtree, str(self._auto_spill_dir), ignore_errors=True
+                )
+            return str(self._auto_spill_dir)
+        return None
+
+    def _run_one(
+        self,
+        job: MapReduceJob,
+        data: list[tuple],
+        incoming: _ChainState | None,
+        next_job: MapReduceJob | None,
+        chain_name: str | None = None,
+    ):
+        """One map -> shuffle -> reduce round.  ``incoming`` replaces the
+        map phase with pre-partitioned chain input; ``next_job`` makes the
+        reduce phase emit chain input for the following round instead of
+        collecting output pairs."""
+        stats = RunStats(job=job.name)
+        injected_before = self.injector.injected if self.injector is not None else 0
+        spill_root = self._spill_root()
+        consumed: _ChainState | None = incoming
+        chain: _ChainState | None = None
+        success = False
+
+        try:
+            if incoming is None:
+                stats.input_records = len(data)
+                layout = None
+                if spill_root is not None:
+                    # Private per-round directory: deterministic file names
+                    # from an earlier failed run can never leak records into
+                    # this one, and cleanup is one rmtree.
+                    run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
+                    layout = SpillLayout(run_dir, job.name, job.num_reducers)
+                    consumed = _ChainState(num_tasks=job.effective_mappers, layout=layout)
+                map_outputs = self._map_phase(job, data, stats, layout)
+                if layout is None:
+                    sources = []
+                    for p in range(job.num_reducers):
+                        part: list[tuple] = []
+                        for buckets in map_outputs:
+                            part.extend(buckets[p])
+                        stats.shuffled_records += len(part)
+                        sources.append(_MemorySource(part))
+                else:
+                    for counts in map_outputs:
+                        stats.shuffled_records += sum(counts)
+                    sources = [
+                        _SpillSource(layout, p, job.effective_mappers)
+                        for p in range(job.num_reducers)
+                    ]
+            else:
+                # Chained round: the identity map phase is skipped — the
+                # records are already partitioned for this job's reducers.
+                total = incoming.total_records
+                stats.input_records = total
+                stats.mapped_records = total
+                stats.shuffled_records = total
+                sources = [incoming.source(p) for p in range(job.num_reducers)]
+
+            if next_job is None:
+                sink = _CollectSink()
+            elif spill_root is not None:
+                chain_dir = tempfile.mkdtemp(prefix=f"{chain_name}.", dir=spill_root)
+                chain_layout = SpillLayout(chain_dir, chain_name, next_job.num_reducers)
+                sink = _SpillChainSink(chain_layout, next_job.partitioner)
+                chain = _ChainState(num_tasks=job.num_reducers, layout=chain_layout, counts=[])
+            else:
+                sink = _MemoryChainSink(next_job.partitioner, next_job.num_reducers)
+                chain = _ChainState(num_tasks=job.num_reducers, buckets=[])
+
+            tasks = [
+                (f"reduce-{p}", _reduce_task, (job, sources[p], sink, p))
+                for p in range(job.num_reducers)
+            ]
+            results = self._execute(job.name, tasks)
+            success = True
+        finally:
+            if consumed is not None:
+                consumed.cleanup()
+            if not success and chain is not None:
+                chain.cleanup()
+
+        output: list[tuple] = []
+        for p, ((stored, reduced, groups, biggest), attempts) in enumerate(results):
+            stats.reduced_records += reduced
+            stats.reduce_attempts += attempts
+            stats.reducer_group_sizes[p] = groups
+            stats.max_group_values = max(stats.max_group_values, biggest)
+            if chain is None:
+                output.extend(stored)
+            elif chain.layout is not None:
+                chain.counts.append(stored)
+            else:
+                chain.buckets.append(stored)
+
+        if self.injector is not None:
+            stats.injected_failures = self.injector.injected - injected_before
+        return (chain if chain is not None else output), stats
+
     def _attempts(self, job_name: str, task_id: str, body):
         """Run ``body()`` with the retry loop; count attempts via return."""
         last_exc: Exception | None = None
@@ -137,97 +469,39 @@ class LocalRuntime:
                     # Simulate a crash mid-task: the attempt produces nothing.
                     self.injector.maybe_fail(job_name, task_id, attempt)
                 return body(), attempt + 1
-            except InjectedWorkerFailure as exc:
+            except (InjectedWorkerFailure, WorkerCrashError) as exc:
                 last_exc = exc
                 continue
         raise JobFailedError(
             f"task {task_id} of job {job_name!r} failed {self.max_attempts} attempts"
         ) from last_exc
 
-    def _map_phase(self, job: MapReduceJob, pairs: list[tuple], stats: RunStats):
+    def _map_phase(self, job: MapReduceJob, pairs, stats: RunStats, layout):
         chunks = _chunk(pairs, job.effective_mappers)
-
-        def map_task(task_index: int):
-            out: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
-            mapped = 0
-            for key, value in chunks[task_index]:
-                for out_key, out_value in job.mapper(key, value):
-                    out[job.partitioner(out_key, job.num_reducers)].append((out_key, out_value))
-                    mapped += 1
-            combined = 0
-            if job.combiner is not None:
-                for p in range(job.num_reducers):
-                    squeezed: list[tuple] = []
-                    for k, values in group_sorted(out[p]):
-                        squeezed.extend(job.combiner(k, values))
-                    out[p] = squeezed
-                    combined += len(squeezed)
-            return out, mapped, combined
-
-        results = self._execute(
-            job.name, [(f"map-{i}", lambda i=i: map_task(i)) for i in range(len(chunks))]
-        )
+        if layout is None:
+            tasks = [
+                (f"map-{i}", _map_task_memory, (job, chunk))
+                for i, chunk in enumerate(chunks)
+            ]
+        else:
+            tasks = [
+                (f"map-{i}", _map_task_spill, (job, chunk, layout, i))
+                for i, chunk in enumerate(chunks)
+            ]
+        results = self._execute(job.name, tasks)
         map_outputs = []
-        for (buckets, mapped, combined), attempts in results:
-            map_outputs.append(buckets)
+        for (out, mapped, combined), attempts in results:
+            map_outputs.append(out)
             stats.mapped_records += mapped
             stats.combined_records += combined
             stats.map_attempts += attempts
         return map_outputs
 
-    def _shuffle(self, job: MapReduceJob, map_outputs, stats: RunStats):
-        partitions: list[list[tuple]] = []
-        for p in range(job.num_reducers):
-            part: list[tuple] = []
-            for buckets in map_outputs:
-                part.extend(buckets[p])
-            stats.shuffled_records += len(part)
-            partitions.append(part)
+    def _execute(self, job_name: str, tasks: list[tuple]):
+        """Run ``(task_id, fn, args)`` tasks on the backend under the retry
+        loop; results come back position-ordered."""
 
-        if self.spill_dir is not None:
-            self.spill_dir.mkdir(parents=True, exist_ok=True)
-            spilled = []
-            for p, part in enumerate(partitions):
-                path = self.spill_dir / f"{job.name}.shuffle.{p:05d}.pkl"
-                with open(path, "wb") as fh:
-                    pickle.dump(part, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                spilled.append(path)
-            partitions = []
-            for path in spilled:
-                with open(path, "rb") as fh:
-                    partitions.append(pickle.load(fh))
-                path.unlink()
-        return partitions
+        def retrier(task_id: str, call):
+            return self._attempts(job_name, task_id, call)
 
-    def _reduce_phase(self, job: MapReduceJob, partitions, stats: RunStats):
-        def reduce_task(p: int):
-            groups = group_sorted(partitions[p])
-            out: list[tuple] = []
-            biggest = 0
-            for key, values in groups:
-                biggest = max(biggest, len(values))
-                out.extend(job.reducer(key, values))
-            return out, len(groups), biggest
-
-        results = self._execute(
-            job.name,
-            [(f"reduce-{p}", lambda p=p: reduce_task(p)) for p in range(len(partitions))],
-        )
-        output: list[tuple] = []
-        for p, ((pairs, groups, biggest), attempts) in enumerate(results):
-            output.extend(pairs)
-            stats.reduced_records += len(pairs)
-            stats.reduce_attempts += attempts
-            stats.reducer_group_sizes[p] = groups
-            stats.max_group_values = max(stats.max_group_values, biggest)
-        return output
-
-    def _execute(self, job_name: str, tasks: list[tuple[str, object]]):
-        """Run ``(task_id, thunk)`` tasks under the retry loop; ordered results."""
-        if self.backend == "serial" or len(tasks) <= 1:
-            return [self._attempts(job_name, tid, thunk) for tid, thunk in tasks]
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [
-                pool.submit(self._attempts, job_name, tid, thunk) for tid, thunk in tasks
-            ]
-            return [f.result() for f in futures]
+        return self._backend.execute(tasks, retrier)

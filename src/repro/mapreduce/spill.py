@@ -1,0 +1,79 @@
+"""Partitioned shuffle spill: map-side writes, reduce-side lazy merge.
+
+Instead of funneling every intermediate record through the parent process,
+each map task writes its output for reduce partition ``p`` straight to
+``<root>/<job>.m<task>.p<p>.pkl`` and hands back only per-partition record
+counts.  Each reduce task then reads exactly the files of its partition —
+in map-task order, which is what the in-memory shuffle's concatenation
+order is, so grouping (and therefore job output) is byte-identical.
+
+This keeps the pipeline out-of-core (intermediate k-hop state never has to
+fit in the parent's RAM) and, under the ``processes`` backend, cuts the
+inter-process pickling volume from *all shuffled records, twice* to file
+paths and counters.
+
+Writes are atomic (temp file + ``os.replace``) so a task attempt that dies
+mid-write can never leave a partial file for its re-execution to read, and
+re-executions — being deterministic — simply overwrite.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["SpillLayout"]
+
+
+@dataclass(frozen=True)
+class SpillLayout:
+    """Where one job's shuffle files live.  Picklable: it crosses the
+    process boundary inside every map/reduce task of a spilling job."""
+
+    root: str
+    job_name: str
+    num_partitions: int
+
+    def path(self, map_task: int, partition: int) -> Path:
+        return Path(self.root) / f"{self.job_name}.m{map_task:05d}.p{partition:05d}.pkl"
+
+    # ------------------------------------------------------------- map side
+    def write_map_output(self, map_task: int, buckets: list[list[tuple]]) -> list[int]:
+        """Spill one map task's partitioned output; returns per-partition
+        record counts (the only thing shipped back to the parent)."""
+        Path(self.root).mkdir(parents=True, exist_ok=True)
+        counts = []
+        for partition, bucket in enumerate(buckets):
+            counts.append(len(bucket))
+            if not bucket:
+                continue
+            final = self.path(map_task, partition)
+            tmp = final.with_suffix(f".tmp{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                pickle.dump(bucket, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, final)
+        return counts
+
+    # ---------------------------------------------------------- reduce side
+    def read_partition(self, partition: int, num_map_tasks: int) -> list[tuple]:
+        """Merge one partition's spill files in map-task order (matching the
+        in-memory shuffle's concatenation order exactly)."""
+        pairs: list[tuple] = []
+        for map_task in range(num_map_tasks):
+            path = self.path(map_task, partition)
+            if not path.exists():  # empty bucket — never written
+                continue
+            with open(path, "rb") as fh:
+                pairs.extend(pickle.load(fh))
+        return pairs
+
+    # ------------------------------------------------------------- cleanup
+    def cleanup(self, num_map_tasks: int) -> None:
+        """Delete the job's spill files once the reduce phase is done."""
+        for map_task in range(num_map_tasks):
+            for partition in range(self.num_partitions):
+                path = self.path(map_task, partition)
+                if path.exists():
+                    path.unlink()

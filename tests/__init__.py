@@ -1,0 +1,2 @@
+"""Test package marker: modules here use relative imports (``from .helpers
+import ...``), which need ``tests`` to be an importable package."""

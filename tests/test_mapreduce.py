@@ -1,20 +1,30 @@
 """MapReduce substrate: shuffle determinism, combiners, chaining, backends,
 fault tolerance (re-execution invariance), disk spill and the DFS."""
 
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.mapreduce import (
+    BACKEND_REGISTRY,
     DistFileSystem,
     FailureInjector,
     JobFailedError,
     LocalRuntime,
     MapReduceJob,
+    RunStats,
+    SpillLayout,
     default_partition,
     key_bytes,
+    make_backend,
+    register_backend,
 )
+from repro.mapreduce.backends import SerialBackend
 
 
 def word_count_job(**kwargs):
@@ -26,6 +36,38 @@ def word_count_job(**kwargs):
         yield word, sum(counts)
 
     return MapReduceJob("wordcount", reducer, mapper=mapper, combiner=reducer, **kwargs)
+
+
+# Top-level operators: picklable, so they ship to worker processes.
+def split_mapper(_, line):
+    for word in line.split():
+        yield word, 1
+
+
+def sum_reducer(word, counts):
+    yield word, sum(counts)
+
+
+def picklable_word_count_job(**kwargs):
+    return MapReduceJob(
+        "wordcount", sum_reducer, mapper=split_mapper, combiner=sum_reducer, **kwargs
+    )
+
+
+@dataclass(frozen=True)
+class CrashOnceMapper:
+    """Hard-kills its worker process on the first execution (sentinel file
+    marks that the crash already happened), then behaves like the identity.
+    Exercises real worker-loss re-execution, not just injected failures."""
+
+    sentinel: str
+
+    def __call__(self, key, value):
+        path = Path(self.sentinel)
+        if not path.exists():
+            path.write_bytes(b"crashed")
+            os._exit(1)
+        yield key, value
 
 
 CORPUS = [(i, line) for i, line in enumerate(["a b b", "b c", "a a a c", ""])]
@@ -143,12 +185,153 @@ class TestFaultTolerance:
             FailureInjector(1.5)
 
 
+class TestProcessBackend:
+    def test_processes_match_serial(self):
+        serial = LocalRuntime("serial").run(
+            picklable_word_count_job(num_reducers=3), CORPUS
+        )
+        with LocalRuntime("processes", max_workers=2) as runtime:
+            procs = runtime.run(picklable_word_count_job(num_reducers=3), CORPUS)
+        assert procs == serial
+
+    def test_processes_with_failures_match_serial(self):
+        baseline = LocalRuntime().run(picklable_word_count_job(num_reducers=3), CORPUS)
+        injector = FailureInjector(rate=0.4, seed=11)
+        with LocalRuntime(
+            "processes", max_workers=2, max_attempts=10, failure_injector=injector
+        ) as runtime:
+            out = runtime.run(picklable_word_count_job(num_reducers=3), CORPUS)
+            stats = runtime.last_stats
+        assert out == baseline
+        assert injector.injected > 0
+        assert stats.map_attempts + stats.reduce_attempts > 3 + 3
+
+    def test_unpicklable_job_rejected_with_guidance(self):
+        with LocalRuntime("processes", max_workers=2) as runtime:
+            with pytest.raises(TypeError, match="callable dataclasses"):
+                runtime.run(word_count_job(), CORPUS)  # closure operators
+
+    def test_worker_crash_is_reexecuted(self, tmp_path):
+        job = MapReduceJob(
+            "crashy",
+            sum_reducer,
+            mapper=CrashOnceMapper(str(tmp_path / "crashed")),
+            num_reducers=2,
+            num_mappers=2,
+        )
+        with LocalRuntime("processes", max_workers=2, max_attempts=5) as runtime:
+            out = dict(runtime.run(job, [(1, 10), (2, 20), (3, 30)]))
+            stats = runtime.last_stats
+        assert out == {1: 10, 2: 20, 3: 30}
+        assert stats.map_attempts > 2  # at least one re-execution happened
+
+    def test_processes_chain_rounds(self):
+        inc = MapReduceJob("inc", _inc_reducer)
+        with LocalRuntime("processes", max_workers=2) as runtime:
+            out = dict(runtime.run_rounds([inc, inc, inc], [(0, 0)]))
+        assert out == {0: 3}
+
+
+def _inc_reducer(k, vs):
+    yield k, sum(vs) + 1
+
+
+class TestBackendRegistry:
+    def test_known_backends_registered(self):
+        assert {"serial", "threads", "processes"} <= set(BACKEND_REGISTRY)
+
+    def test_make_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("mpi")
+
+    def test_custom_backend_registration(self):
+        @register_backend("test-custom")
+        class CustomBackend(SerialBackend):
+            pass
+
+        try:
+            runtime = LocalRuntime("test-custom")
+            assert dict(runtime.run(word_count_job(), CORPUS)) == EXPECTED
+        finally:
+            del BACKEND_REGISTRY["test-custom"]
+
+
 class TestSpill:
     def test_disk_spill_matches_memory(self, tmp_path):
         spilled = LocalRuntime(spill_dir=tmp_path).run(word_count_job(), CORPUS)
         assert dict(spilled) == EXPECTED
         # spill files are cleaned up after the job
         assert not list(tmp_path.glob("*.pkl"))
+
+    def test_spill_matches_memory_on_threads(self, tmp_path):
+        baseline = LocalRuntime("serial").run(word_count_job(num_reducers=3), CORPUS)
+        spilled = LocalRuntime("threads", max_workers=4, spill_dir=tmp_path).run(
+            word_count_job(num_reducers=3), CORPUS
+        )
+        assert spilled == baseline
+
+    def test_spill_shuffle_stats_match_memory(self, tmp_path):
+        memory = LocalRuntime()
+        memory.run(word_count_job(num_reducers=3), CORPUS)
+        spill = LocalRuntime(spill_dir=tmp_path)
+        spill.run(word_count_job(num_reducers=3), CORPUS)
+        assert spill.last_stats.shuffled_records == memory.last_stats.shuffled_records
+        assert spill.last_stats.reducer_group_sizes == memory.last_stats.reducer_group_sizes
+
+    def test_layout_one_file_per_map_task_and_partition(self, tmp_path):
+        layout = SpillLayout(str(tmp_path), "job", num_partitions=3)
+        counts0 = layout.write_map_output(0, [[("a", 1)], [], [("c", 3), ("c", 4)]])
+        counts1 = layout.write_map_output(1, [[("a", 9)], [("b", 2)], []])
+        assert counts0 == [1, 0, 2]
+        assert counts1 == [1, 1, 0]
+        # empty buckets produce no file
+        names = sorted(p.name for p in tmp_path.glob("*.pkl"))
+        assert names == [
+            "job.m00000.p00000.pkl",
+            "job.m00000.p00002.pkl",
+            "job.m00001.p00000.pkl",
+            "job.m00001.p00001.pkl",
+        ]
+        # reduce-side merge preserves map-task order (the in-memory
+        # shuffle's concatenation order)
+        assert layout.read_partition(0, num_map_tasks=2) == [("a", 1), ("a", 9)]
+        assert layout.read_partition(1, num_map_tasks=2) == [("b", 2)]
+        assert layout.read_partition(2, num_map_tasks=2) == [("c", 3), ("c", 4)]
+        layout.cleanup(num_map_tasks=2)
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_spill_round_trip_is_deterministic(self, tmp_path):
+        runs = [
+            LocalRuntime(spill_dir=tmp_path / f"run{i}").run(
+                picklable_word_count_job(num_reducers=4, num_mappers=3), CORPUS
+            )
+            for i in range(2)
+        ]
+        baseline = LocalRuntime().run(
+            picklable_word_count_job(num_reducers=4, num_mappers=3), CORPUS
+        )
+        assert runs[0] == runs[1] == baseline
+
+
+class TestRunStatsMerge:
+    def test_merge_preserves_group_sizes_and_job(self):
+        merged = RunStats()
+        a = RunStats(job="round1", reduced_records=3, reducer_group_sizes={0: 2, 1: 1})
+        b = RunStats(job="round2", reduced_records=1, reducer_group_sizes={1: 4})
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.job == "round1"
+        assert merged.reduced_records == 4
+        assert merged.reducer_group_sizes == {0: 2, 1: 5}
+
+    def test_run_rounds_merges_group_sizes(self):
+        inc = MapReduceJob("inc", lambda k, vs: [(k, sum(vs) + 1)], num_reducers=2)
+        runtime = LocalRuntime()
+        runtime.run_rounds([inc, inc], [(0, 0), (1, 5)])
+        stats = runtime.last_stats
+        assert stats.job == "inc+inc"
+        # two rounds x two groups, accumulated per partition
+        assert sum(stats.reducer_group_sizes.values()) == 4
 
 
 class TestDistFileSystem:
