@@ -66,6 +66,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="shuffle spill directory (out-of-core); processes backend spills "
         "to a private temp dir by default",
     )
+    parser.add_argument(
+        "--shuffle-codec", choices=["binary", "pickle"], default="binary",
+        help="spill record encoding: flat binary records (default; faster, "
+        "smaller, byte-identical output) or per-record pickles",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -73,6 +78,20 @@ def _backend_name(args) -> str:
     if args.backend != "auto":
         return args.backend
     return "threads" if args.num_workers > 1 else "serial"
+
+
+def _print_shuffle_summary(round_stats, codec: str) -> None:
+    """One line of shuffle accounting so codec wins are visible without
+    running the benchmark suite."""
+    records = sum(rs.shuffled_records for rs in round_stats)
+    spilled = sum(rs.shuffle_bytes_written for rs in round_stats)
+    if spilled:
+        print(
+            f"shuffle: {records} records, {spilled / 2**20:.2f} MiB spilled "
+            f"({codec} codec, {len(round_stats)} rounds)"
+        )
+    else:
+        print(f"shuffle: {records} records (in-memory, {len(round_stats)} rounds)")
 
 
 def _cmd_graphflat(args) -> int:
@@ -91,6 +110,7 @@ def _cmd_graphflat(args) -> int:
         backend=_backend_name(args),
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
+        shuffle_codec=args.shuffle_codec,
     )
     fs = DistFileSystem(args.dfs)
     # The config owns the runtime (graph_flat builds and closes it).
@@ -100,6 +120,7 @@ def _cmd_graphflat(args) -> int:
         f"{args.dfs}/{args.output} ({len(result.hub_nodes)} hub nodes re-indexed, "
         f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
     )
+    _print_shuffle_summary(result.round_stats, args.shuffle_codec)
     return 0
 
 
@@ -201,6 +222,7 @@ def _cmd_graphinfer(args) -> int:
         backend=_backend_name(args),
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
+        shuffle_codec=args.shuffle_codec,
     )
     targets = None
     if args.targets:
@@ -214,6 +236,7 @@ def _cmd_graphinfer(args) -> int:
         f"({result.embedding_computations} embedding computations) -> "
         f"{args.dfs}/{args.output}"
     )
+    _print_shuffle_summary(result.round_stats, args.shuffle_codec)
     return 0
 
 

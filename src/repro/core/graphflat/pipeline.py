@@ -75,6 +75,10 @@ class GraphFlatConfig:
     spill_dir: str | None = None
     """Shuffle spill directory; ``None`` = in-memory (serial/threads) or a
     private temp dir (processes)."""
+    shuffle_codec: str = "binary"
+    """Spill record encoding: ``binary`` (flat SubgraphInfo/edge records
+    instead of pickled object graphs — the default; output is byte-identical
+    to ``pickle``, tested) or ``pickle``."""
 
     def __post_init__(self):
         if self.hops < 1:
@@ -87,6 +91,7 @@ class GraphFlatConfig:
             backend=self.backend,
             max_workers=self.num_workers,
             spill_dir=self.spill_dir,
+            shuffle_codec=self.shuffle_codec,
         )
 
 
@@ -208,6 +213,7 @@ def _graph_flat(
 
     # ---- hub detection (a tiny MR job over the edge table) ----------------
     degree_pairs = runtime.run(_degree_job(config.num_reducers), edge_rows)
+    degree_stats: list[RunStats] = list(runtime.round_stats)
     hubs = frozenset(int(v) for v, deg in degree_pairs if deg > config.hub_threshold)
     reindex_active = bool(hubs)
 
@@ -248,7 +254,9 @@ def _graph_flat(
             )
         )
     data = runtime.run_rounds(jobs, node_rows + edge_rows)
-    round_stats: list[RunStats] = list(runtime.round_stats)
+    # Degree-job stats included: the CLI/bench shuffle accounting must cover
+    # every round the pipeline actually ran.
+    round_stats: list[RunStats] = degree_stats + list(runtime.round_stats)
 
     # ---- Storing ------------------------------------------------------------
     encoded: list[bytes] = []

@@ -6,7 +6,13 @@ accumulated (k-1)-hop neighborhood), the **in-edge information**
 (:class:`InEdgeInfo` — edge feature/weight plus the sender's self
 information) and the **out-edge information** (:class:`OutEdgeInfo` — where
 to propagate next round).  All three pickle cleanly so the runtime can spill
-shuffles to disk.
+shuffles to disk — and each registers a *flat* wire form with the binary
+shuffle codec (bottom of this module): node/edge state is spilled as
+varint id/hop blocks plus contiguous feature matrices instead of pickled
+dicts of per-node tuples, which is where the process backend's per-object
+serialization tax lived.  Encoding preserves dict insertion order, float
+bits and array dtypes exactly, so a job's output is byte-identical under
+either codec.
 """
 
 from __future__ import annotations
@@ -16,6 +22,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.graph.subgraph import GraphFeature
+from repro.proto.framing import (
+    decode_edge_fields,
+    decode_value,
+    encode_edge_fields,
+    encode_value,
+    register_record,
+)
+from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
 
 __all__ = ["SubgraphInfo", "InEdgeInfo", "OutEdgeInfo", "PartialMerge"]
 
@@ -146,3 +160,158 @@ class PartialMerge:
     slice of a hub node, pre-sampled and pre-merged (§3.2.2)."""
 
     in_edges: list[InEdgeInfo]
+
+
+# --------------------------------------------------------------- wire forms
+# Flat binary encodings for the spill shuffle (repro.proto.framing).  Tags
+# 0x20-0x2F are reserved for GraphFlat records.
+
+def _encode_vectors(arrays: list, out: bytearray) -> None:
+    """A block of per-row vectors: ``0`` = empty, ``1`` = uniform (stacked
+    into one contiguous matrix — the flat fast path), ``2`` = generic
+    fallback (ragged shapes, mixed dtypes, or ``None`` entries)."""
+    if not arrays:
+        out.append(0)
+        return
+    first = arrays[0]
+    uniform = isinstance(first, np.ndarray) and first.ndim == 1 and all(
+        isinstance(a, np.ndarray) and a.dtype == first.dtype and a.shape == first.shape
+        for a in arrays
+    )
+    if uniform:
+        out.append(1)
+        out += encode_value(np.stack(arrays))
+    else:
+        out.append(2)
+        out += encode_value(list(arrays))
+
+
+def _decode_vectors(buf: memoryview, offset: int, count: int):
+    mode = buf[offset]
+    offset += 1
+    if mode == 0:
+        rows = []
+    elif mode == 1:
+        matrix, offset = decode_value(buf, offset)
+        # Owned per-row copies, not views: reducers sample rows and keep a
+        # subset alive across the round — a view would pin the whole stacked
+        # matrix and break the streamed reduce's memory bound.
+        rows = [np.array(row) for row in matrix]
+    else:
+        rows, offset = decode_value(buf, offset)
+    if len(rows) != count:
+        raise ValueError(
+            f"vector block holds {len(rows)} rows, header promised {count}"
+        )
+    return rows, offset
+
+
+def _encode_subgraph(info: SubgraphInfo, out: bytearray) -> None:
+    # Node and edge tables go out as contiguous little-endian blocks
+    # (ids/hops as raw int64, weights as raw float64, features stacked into
+    # one matrix): every hot loop is a numpy bulk conversion, not a
+    # per-element Python encode — this is where the codec's wall-clock win
+    # over per-object pickling comes from.
+    out += encode_signed(info.root)
+    n = len(info.nodes)
+    out += encode_unsigned(n)
+    ids = np.fromiter(info.nodes.keys(), dtype=np.int64, count=n)
+    out += ids.astype("<i8", copy=False).tobytes()
+    hops = np.empty(n, dtype=np.int64)
+    feats = []
+    for i, (feat, hop) in enumerate(info.nodes.values()):
+        hops[i] = hop
+        feats.append(feat)
+    out += hops.astype("<i8", copy=False).tobytes()
+    _encode_vectors(feats, out)
+
+    m = len(info.edges)
+    out += encode_unsigned(m)
+    if not m:
+        return
+    pairs = np.fromiter(
+        (i for pair in info.edges.keys() for i in pair), dtype=np.int64, count=2 * m
+    )
+    out += pairs.astype("<i8", copy=False).tobytes()
+    weights = np.empty(m, dtype=np.float64)
+    efeats = []
+    for i, (weight, ef) in enumerate(info.edges.values()):
+        weights[i] = weight
+        efeats.append(ef)
+    out += weights.astype("<f8", copy=False).tobytes()
+    if all(ef is None for ef in efeats):
+        out.append(0)
+    else:
+        _encode_vectors(efeats, out)
+
+
+def _read_block(buf: memoryview, offset: int, count: int, dtype: str):
+    nbytes = count * np.dtype(dtype).itemsize
+    block = np.frombuffer(buf[offset : offset + nbytes], dtype=dtype)
+    if len(block) != count:
+        raise ValueError("truncated SubgraphInfo block")
+    return block, offset + nbytes
+
+
+def _decode_subgraph(buf: memoryview, offset: int):
+    root, offset = decode_signed(buf, offset)
+    n, offset = decode_unsigned(buf, offset)
+    ids, offset = _read_block(buf, offset, n, "<i8")
+    hops, offset = _read_block(buf, offset, n, "<i8")
+    feats, offset = _decode_vectors(buf, offset, n)
+    nodes = {
+        nid: (feat, hop) for nid, feat, hop in zip(ids.tolist(), feats, hops.tolist())
+    }
+    m, offset = decode_unsigned(buf, offset)
+    if not m:
+        return SubgraphInfo(root, nodes, {}), offset
+    pairs, offset = _read_block(buf, offset, 2 * m, "<i8")
+    weights, offset = _read_block(buf, offset, m, "<f8")
+    mode = buf[offset]
+    if mode == 0:  # all-None edge features: mode byte only
+        offset += 1
+        efeats = [None] * m
+    else:
+        efeats, offset = _decode_vectors(buf, offset, m)
+    edges = {
+        (src, dst): (weight, ef)
+        for (src, dst), weight, ef in zip(
+            pairs.reshape(m, 2).tolist(), weights.tolist(), efeats
+        )
+    }
+    return SubgraphInfo(root, nodes, edges), offset
+
+
+def _encode_in_edge(info: InEdgeInfo, out: bytearray) -> None:
+    encode_edge_fields(info.src, info.weight, info.edge_feat, out)
+    _encode_subgraph(info.subgraph, out)
+
+
+def _decode_in_edge(buf: memoryview, offset: int):
+    src, weight, edge_feat, offset = decode_edge_fields(buf, offset)
+    subgraph, offset = _decode_subgraph(buf, offset)
+    return InEdgeInfo(src, weight, edge_feat, subgraph), offset
+
+
+def _encode_out_edge(info: OutEdgeInfo, out: bytearray) -> None:
+    encode_edge_fields(info.dst, info.weight, info.edge_feat, out)
+
+
+def _decode_out_edge(buf: memoryview, offset: int):
+    dst, weight, edge_feat, offset = decode_edge_fields(buf, offset)
+    return OutEdgeInfo(dst, weight, edge_feat), offset
+
+
+def _encode_partial(partial: PartialMerge, out: bytearray) -> None:
+    out += encode_value(partial.in_edges)
+
+
+def _decode_partial(buf: memoryview, offset: int):
+    in_edges, offset = decode_value(buf, offset)
+    return PartialMerge(in_edges), offset
+
+
+register_record(0x20, SubgraphInfo, _encode_subgraph, _decode_subgraph)
+register_record(0x21, InEdgeInfo, _encode_in_edge, _decode_in_edge)
+register_record(0x22, OutEdgeInfo, _encode_out_edge, _decode_out_edge)
+register_record(0x23, PartialMerge, _encode_partial, _decode_partial)

@@ -29,6 +29,13 @@ from repro.mapreduce.fs import DistFileSystem
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.nn.gnn.base import GNNModel
+from repro.proto.framing import (
+    decode_edge_fields,
+    decode_value,
+    encode_edge_fields,
+    encode_value,
+    register_record,
+)
 from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
 
 __all__ = [
@@ -63,6 +70,36 @@ class _InEmb:
     h: np.ndarray
 
 
+# Flat wire forms for the binary spill codec (tags 0x30-0x3F are reserved
+# for GraphInfer records): embeddings go to disk as raw little-endian
+# blocks instead of pickled object graphs.  The leading (id, weight,
+# edge_feat) triple shares GraphFlat's wire shape via encode_edge_fields.
+
+
+def _encode_out_edge(edge: _OutEdge, out: bytearray) -> None:
+    encode_edge_fields(edge.dst, edge.weight, edge.edge_feat, out)
+
+
+def _decode_out_edge(buf, offset: int):
+    dst, weight, edge_feat, offset = decode_edge_fields(buf, offset)
+    return _OutEdge(dst, weight, edge_feat), offset
+
+
+def _encode_in_emb(emb: _InEmb, out: bytearray) -> None:
+    encode_edge_fields(emb.src, emb.weight, emb.edge_feat, out)
+    out += encode_value(emb.h)
+
+
+def _decode_in_emb(buf, offset: int):
+    src, weight, edge_feat, offset = decode_edge_fields(buf, offset)
+    h, offset = decode_value(buf, offset)
+    return _InEmb(src, weight, edge_feat, h), offset
+
+
+register_record(0x30, _OutEdge, _encode_out_edge, _decode_out_edge)
+register_record(0x31, _InEmb, _encode_in_emb, _decode_in_emb)
+
+
 @dataclass
 class GraphInferConfig:
     """Inference knobs (Figure 6's ``GraphInfer -m model -i input -c ...``)."""
@@ -83,12 +120,17 @@ class GraphInferConfig:
     spill_dir: str | None = None
     """Shuffle spill directory; ``None`` = in-memory (serial/threads) or a
     private temp dir (processes)."""
+    shuffle_codec: str = "binary"
+    """Spill record encoding: ``binary`` (flat embedding/edge records —
+    the default; output is byte-identical to ``pickle``, tested) or
+    ``pickle``."""
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
             backend=self.backend,
             max_workers=self.num_workers,
             spill_dir=self.spill_dir,
+            shuffle_codec=self.shuffle_codec,
         )
 
 

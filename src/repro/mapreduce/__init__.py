@@ -28,8 +28,8 @@ from repro.mapreduce.job import JobFailedError, MapReduceJob
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
 from repro.mapreduce.fs import DistFileSystem
-from repro.mapreduce.shuffle import default_partition, key_bytes
-from repro.mapreduce.spill import SpillLayout
+from repro.mapreduce.shuffle import decode_key, default_partition, key_bytes
+from repro.mapreduce.spill import SPILL_CODECS, SpillLayout, SpillWriteResult
 
 __all__ = [
     "BACKEND_REGISTRY",
@@ -42,7 +42,10 @@ __all__ = [
     "InjectedWorkerFailure",
     "WorkerCrashError",
     "DistFileSystem",
+    "SPILL_CODECS",
     "SpillLayout",
+    "SpillWriteResult",
+    "decode_key",
     "default_partition",
     "key_bytes",
     "make_backend",

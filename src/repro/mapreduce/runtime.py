@@ -20,10 +20,16 @@ change job output — tests assert this.
 
 Shuffle spill: with ``spill_dir`` set (or always under the ``processes``
 backend, which uses a private temp directory unless told otherwise), each
-map task spills one file per reduce partition and reducers merge their
-partition's files lazily (:mod:`repro.mapreduce.spill`).  Intermediate
-k-hop state therefore never has to fit in the parent's RAM, and worker
-processes exchange file paths and counters instead of every record.
+map task spills one key-sorted frame file per reduce partition and reducers
+*stream-merge* their partition's files (:mod:`repro.mapreduce.spill`):
+groups are fed to the reducer one at a time through a bounded per-file
+buffer, so a reducer's *input* partition never has to be resident in RAM
+(its own output is still buffered before the sorted chain write — see
+ROADMAP "streamed chain-sink writes").  Spill records are encoded by a
+pluggable codec
+(``shuffle_codec``): ``"pickle"`` for arbitrary jobs, or ``"binary"`` flat
+records (:mod:`repro.proto.framing`) which GraphFlat/GraphInfer use to avoid
+the per-object pickling tax on their dominant shuffle volumes.
 
 Chained rounds (:meth:`LocalRuntime.run_rounds`): when round ``i+1`` is a
 reduce-only job (identity mapper, no combiner — every GraphFlat/GraphInfer
@@ -32,9 +38,12 @@ round ``i+1``'s reducers, and the identity map phase is skipped.  Under the
 process backend the partitions go to spill files, so intermediate records
 never travel through the parent at all — the parent only ever sees file
 counters between rounds, which is what makes multi-core scaling survive
-Python's serialization costs.  Record order is provably identical to the
-unchained execution (reduce-task order = the order identity map tasks would
-have preserved), so output stays byte-identical.
+Python's serialization costs.  The *first* round gets the symmetric
+treatment: when it is itself reduce-only, the parent partitions (and spills)
+the job input directly instead of shipping chunks through identity map
+tasks, skipping one full IPC pass.  Record order is provably identical to
+the unchained execution (reduce-task order = the order identity map tasks
+would have preserved), so output stays byte-identical.
 """
 
 from __future__ import annotations
@@ -51,7 +60,7 @@ from repro.mapreduce.backends import Backend, WorkerCrashError, make_backend
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
 from repro.mapreduce.job import JobFailedError, MapReduceJob, identity_mapper
 from repro.mapreduce.shuffle import group_sorted
-from repro.mapreduce.spill import SpillLayout
+from repro.mapreduce.spill import SPILL_CODECS, SpillLayout, SpillWriteResult
 
 __all__ = ["LocalRuntime", "RunStats"]
 
@@ -66,6 +75,9 @@ class RunStats:
     combined_records: int = 0
     shuffled_records: int = 0
     reduced_records: int = 0
+    shuffle_bytes_written: int = 0
+    """Bytes spilled to shuffle files this round (0 for in-memory shuffles)
+    — the quantity the binary record codec exists to shrink."""
     map_attempts: int = 0
     reduce_attempts: int = 0
     injected_failures: int = 0
@@ -83,6 +95,7 @@ class RunStats:
         self.combined_records += other.combined_records
         self.shuffled_records += other.shuffled_records
         self.reduced_records += other.reduced_records
+        self.shuffle_bytes_written += other.shuffle_bytes_written
         self.map_attempts += other.map_attempts
         self.reduce_attempts += other.reduce_attempts
         self.injected_failures += other.injected_failures
@@ -107,8 +120,9 @@ def _chunk(seq: list, n: int) -> list[list]:
 
 
 # --------------------------------------------------------- sources and sinks
-# Reduce tasks read their partition from a *source* and hand their output to
-# a *sink*.  All of these are picklable: under the "processes" backend they
+# Reduce tasks pull their partition's *groups* from a source (streamed, for
+# spill sources) and push their output pairs into a *sink* as they are
+# produced.  All of these are picklable: under the "processes" backend they
 # ship to worker processes inside the task arguments.
 
 
@@ -116,8 +130,8 @@ def _chunk(seq: list, n: int) -> list[list]:
 class _MemorySource:
     pairs: list
 
-    def load(self) -> list:
-        return self.pairs
+    def groups(self):
+        return group_sorted(self.pairs)
 
 
 @dataclass(frozen=True)
@@ -126,19 +140,21 @@ class _SpillSource:
     partition: int
     num_map_tasks: int
 
-    def load(self) -> list:
-        return self.layout.read_partition(self.partition, self.num_map_tasks)
+    def groups(self):
+        # Streamed external merge: one group resident at a time, never the
+        # whole partition (see SpillLayout.iter_groups).
+        return self.layout.iter_groups(self.partition, self.num_map_tasks)
 
 
 @dataclass(frozen=True)
 class _CollectSink:
     """Terminal round: reducer output pairs go back to the caller."""
 
-    def store(self, task_index: int, pairs: list):
-        return pairs
+    def store(self, task_index: int, pairs):
+        return list(pairs)
 
 
-def _partition_pairs(pairs: list, partitioner: Callable, num_partitions: int):
+def _partition_pairs(pairs, partitioner: Callable, num_partitions: int):
     buckets: list[list[tuple]] = [[] for _ in range(num_partitions)]
     for key, value in pairs:
         buckets[partitioner(key, num_partitions)].append((key, value))
@@ -153,7 +169,7 @@ class _MemoryChainSink:
     partitioner: Callable
     num_partitions: int
 
-    def store(self, task_index: int, pairs: list):
+    def store(self, task_index: int, pairs):
         return _partition_pairs(pairs, self.partitioner, self.num_partitions)
 
 
@@ -165,7 +181,7 @@ class _SpillChainSink:
     layout: SpillLayout
     partitioner: Callable
 
-    def store(self, task_index: int, pairs: list):
+    def store(self, task_index: int, pairs):
         buckets = _partition_pairs(pairs, self.partitioner, self.layout.num_partitions)
         return self.layout.write_map_output(task_index, buckets)
 
@@ -230,20 +246,29 @@ def _map_task_memory(job: MapReduceJob, chunk: list[tuple]):
 
 def _map_task_spill(job: MapReduceJob, chunk: list[tuple], spill: SpillLayout, index: int):
     """Spilling map task: partition files go straight to disk; only the
-    per-partition counts travel back to the parent."""
+    per-partition counts and byte totals travel back to the parent."""
     buckets, mapped, combined = _map_chunk(job, chunk)
     return spill.write_map_output(index, buckets), mapped, combined
 
 
 def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
-    pairs = source.load()
-    groups = group_sorted(pairs)
-    out: list[tuple] = []
-    biggest = 0
-    for key, values in groups:
-        biggest = max(biggest, len(values))
-        out.extend(job.reducer(key, values))
-    return sink.store(task_index, out), len(out), len(groups), biggest
+    """Stream groups from the source through the reducer into the sink:
+    with a spill source the input partition is never resident — one group
+    at a time.  (Chain sinks still buffer the task's own output to sort it
+    before writing; bounding that too is a ROADMAP item.)"""
+    counters = [0, 0, 0]  # reduced pairs, groups, largest group
+
+    def produced():
+        for key, values in source.groups():
+            counters[1] += 1
+            if len(values) > counters[2]:
+                counters[2] = len(values)
+            for pair in job.reducer(key, values):
+                counters[0] += 1
+                yield pair
+
+    stored = sink.store(task_index, produced())
+    return stored, counters[0], counters[1], counters[2]
 
 
 def _chainable(job: MapReduceJob) -> bool:
@@ -262,15 +287,21 @@ class LocalRuntime:
         max_attempts: int = 3,
         failure_injector: FailureInjector | None = None,
         spill_dir: str | Path | None = None,
+        shuffle_codec: str = "pickle",
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if shuffle_codec not in SPILL_CODECS:
+            raise ValueError(
+                f"unknown shuffle codec {shuffle_codec!r}; known: {SPILL_CODECS}"
+            )
         self._backend: Backend = make_backend(backend, max_workers)
         self.backend = backend
         self.max_workers = max_workers
         self.max_attempts = max_attempts
         self.injector = failure_injector
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.shuffle_codec = shuffle_codec
         self._auto_spill_dir: Path | None = None
         self._finalizer: weakref.finalize | None = None
         self.last_stats: RunStats | None = None
@@ -385,7 +416,33 @@ class LocalRuntime:
         success = False
 
         try:
-            if incoming is None:
+            if incoming is None and _chainable(job):
+                # Parent-side partitioning: a reduce-only first round needs
+                # no map phase at all — the parent buckets (and spills) the
+                # input directly, skipping one full IPC pass.  A single
+                # stably-sorted writer produces the same merged order as N
+                # chunked identity map tasks, so output is unchanged.
+                stats.input_records = len(data)
+                stats.mapped_records = len(data)
+                stats.shuffled_records = len(data)
+                buckets = _partition_pairs(data, job.partitioner, job.num_reducers)
+                if spill_root is not None:
+                    run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
+                    layout = SpillLayout(
+                        run_dir, job.name, job.num_reducers, codec=self.shuffle_codec
+                    )
+                    # Chain state before the write: if encoding fails
+                    # mid-spill, the finally block still removes the run
+                    # directory (and any .tmp partial).
+                    consumed = _ChainState(num_tasks=1, layout=layout)
+                    written = layout.write_map_output(0, buckets)
+                    stats.shuffle_bytes_written += written.bytes_written
+                    sources = [
+                        _SpillSource(layout, p, 1) for p in range(job.num_reducers)
+                    ]
+                else:
+                    sources = [_MemorySource(b) for b in buckets]
+            elif incoming is None:
                 stats.input_records = len(data)
                 layout = None
                 if spill_root is not None:
@@ -393,7 +450,9 @@ class LocalRuntime:
                     # from an earlier failed run can never leak records into
                     # this one, and cleanup is one rmtree.
                     run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
-                    layout = SpillLayout(run_dir, job.name, job.num_reducers)
+                    layout = SpillLayout(
+                        run_dir, job.name, job.num_reducers, codec=self.shuffle_codec
+                    )
                     consumed = _ChainState(num_tasks=job.effective_mappers, layout=layout)
                 map_outputs = self._map_phase(job, data, stats, layout)
                 if layout is None:
@@ -405,8 +464,9 @@ class LocalRuntime:
                         stats.shuffled_records += len(part)
                         sources.append(_MemorySource(part))
                 else:
-                    for counts in map_outputs:
-                        stats.shuffled_records += sum(counts)
+                    for written in map_outputs:
+                        stats.shuffled_records += sum(written.counts)
+                        stats.shuffle_bytes_written += written.bytes_written
                     sources = [
                         _SpillSource(layout, p, job.effective_mappers)
                         for p in range(job.num_reducers)
@@ -424,7 +484,9 @@ class LocalRuntime:
                 sink = _CollectSink()
             elif spill_root is not None:
                 chain_dir = tempfile.mkdtemp(prefix=f"{chain_name}.", dir=spill_root)
-                chain_layout = SpillLayout(chain_dir, chain_name, next_job.num_reducers)
+                chain_layout = SpillLayout(
+                    chain_dir, chain_name, next_job.num_reducers, codec=self.shuffle_codec
+                )
                 sink = _SpillChainSink(chain_layout, next_job.partitioner)
                 chain = _ChainState(num_tasks=job.num_reducers, layout=chain_layout, counts=[])
             else:
@@ -452,7 +514,9 @@ class LocalRuntime:
             if chain is None:
                 output.extend(stored)
             elif chain.layout is not None:
-                chain.counts.append(stored)
+                assert isinstance(stored, SpillWriteResult)
+                chain.counts.append(stored.counts)
+                stats.shuffle_bytes_written += stored.bytes_written
             else:
                 chain.buckets.append(stored)
 

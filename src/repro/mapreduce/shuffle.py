@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import zlib
 
-from repro.proto.varint import encode_signed
+from repro.proto.varint import decode_signed, encode_signed
 
-__all__ = ["key_bytes", "default_partition", "group_sorted"]
+__all__ = ["key_bytes", "decode_key", "default_partition", "group_sorted"]
 
 
 def key_bytes(key) -> bytes:
@@ -25,6 +25,14 @@ def key_bytes(key) -> bytes:
     if isinstance(key, bool):  # bool is an int subclass; disambiguate
         return b"b" + (b"\x01" if key else b"\x00")
     if isinstance(key, int):
+        # ZigZag varints are 64-bit on the wire; fail at emit time with a
+        # clear message instead of producing an encoding the spill reader
+        # would later reject as a corrupt stream.
+        if not -(1 << 63) <= key < (1 << 63):
+            raise TypeError(
+                f"int shuffle key {key} exceeds 64 bits; map wider ids "
+                "(e.g. 128-bit hashes) to bytes/str keys instead"
+            )
         return b"i" + encode_signed(key)
     if isinstance(key, str):
         return b"s" + key.encode("utf-8")
@@ -38,6 +46,40 @@ def key_bytes(key) -> bytes:
             out += p
         return bytes(out)
     raise TypeError(f"unsupported shuffle key type {type(key).__name__}: {key!r}")
+
+
+def decode_key(data: bytes):
+    """Inverse of :func:`key_bytes`.
+
+    Spill files store each record's key *once*, as its canonical encoding
+    (which doubles as the merge sort key); readers recover the original key
+    object from those bytes instead of serializing it twice.
+    """
+    value, _ = _decode_key(memoryview(data), 0, len(data))
+    return value
+
+
+def _decode_key(buf: memoryview, offset: int, end: int):
+    kind = buf[offset]
+    offset += 1
+    if kind == ord("b"):
+        return buf[offset] == 1, offset + 1
+    if kind == ord("i"):
+        return decode_signed(buf, offset)
+    if kind == ord("s"):
+        return str(buf[offset:end], "utf-8"), end
+    if kind == ord("y"):
+        return bytes(buf[offset:end]), end
+    if kind == ord("t"):
+        parts = []
+        while offset < end:
+            plen = int.from_bytes(buf[offset : offset + 4], "little")
+            offset += 4
+            part, _ = _decode_key(buf, offset, offset + plen)
+            parts.append(part)
+            offset += plen
+        return tuple(parts), end
+    raise ValueError(f"corrupt shuffle key encoding (kind byte {kind:#x})")
 
 
 def default_partition(key, num_partitions: int) -> int:

@@ -1,50 +1,128 @@
-"""Partitioned shuffle spill: map-side writes, reduce-side lazy merge.
+"""Partitioned shuffle spill: map-side sorted frame writes, reduce-side
+streamed merge.
 
-Instead of funneling every intermediate record through the parent process,
-each map task writes its output for reduce partition ``p`` straight to
-``<root>/<job>.m<task>.p<p>.pkl`` and hands back only per-partition record
-counts.  Each reduce task then reads exactly the files of its partition —
-in map-task order, which is what the in-memory shuffle's concatenation
-order is, so grouping (and therefore job output) is byte-identical.
+Each map task writes its output for reduce partition ``p`` straight to
+``<root>/<job>.m<task>.p<p>.<ext>`` and hands back only per-partition record
+counts and byte totals.  Within a file, records are *stably sorted by
+canonical key bytes* (the map-side sort of real MapReduce), so each reduce
+task can k-way-merge its partition's files through a bounded buffer — one
+frame per file in flight — instead of materializing the whole partition in
+RAM.  Merge ties prefer the lower map-task index, which makes the merged
+stream exactly the stable sort of the old concatenation order: grouping, and
+therefore job output, stays byte-identical.
 
-This keeps the pipeline out-of-core (intermediate k-hop state never has to
-fit in the parent's RAM) and, under the ``processes`` backend, cuts the
-inter-process pickling volume from *all shuffled records, twice* to file
-paths and counters.
+Record encoding is pluggable (the ``codec`` knob):
+
+* ``"pickle"`` — one pickle per record value; works for arbitrary jobs.
+* ``"binary"`` — flat tagged records via :mod:`repro.proto.framing`; node
+  and edge state goes to disk as raw little-endian blocks instead of pickled
+  object graphs, which is the serialization tax AGL's C++ GraphFlat avoids
+  with flat protobuf records (§3.2).  GraphFlat/GraphInfer register their
+  record types' wire forms and default to this codec.
+
+Keys are stored once per frame, as their canonical shuffle encoding
+(:func:`repro.mapreduce.shuffle.key_bytes`) — it is simultaneously the merge
+sort key and, via :func:`~repro.mapreduce.shuffle.decode_key`, the key
+serialization.
 
 Writes are atomic (temp file + ``os.replace``) so a task attempt that dies
 mid-write can never leave a partial file for its re-execution to read, and
-re-executions — being deterministic — simply overwrite.
+re-executions — being deterministic — simply overwrite.  ``cleanup`` also
+glob-removes orphaned ``.tmp*`` files from attempts that died mid-write.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import pickle
 from dataclasses import dataclass
+from operator import itemgetter
 from pathlib import Path
 
-__all__ = ["SpillLayout"]
+from repro.proto.framing import (
+    FrameCorruptionError,
+    decode_value,
+    encode_value,
+    iter_frames,
+    read_stream_header,
+    write_frame,
+    write_stream_header,
+)
+from repro.mapreduce.shuffle import decode_key, key_bytes
+
+__all__ = ["SPILL_CODECS", "SpillLayout", "SpillWriteResult"]
+
+SPILL_CODECS = ("pickle", "binary")
+
+_CODEC_IDS = {"pickle": 0, "binary": 1}
+_CODEC_EXTS = {"pickle": "pkl", "binary": "bin"}
+
+_READ_BUFFER_BYTES = 1 << 16
+"""Per-file read buffer of the merge iterator — the explicit bound on how
+much of a partition is ever resident during a streamed reduce."""
+
+
+@dataclass(frozen=True)
+class SpillWriteResult:
+    """What a map task (or chain reducer) reports back to the parent after
+    spilling: per-partition record counts plus total bytes on disk."""
+
+    counts: list[int]
+    bytes_written: int = 0
 
 
 @dataclass(frozen=True)
 class SpillLayout:
-    """Where one job's shuffle files live.  Picklable: it crosses the
-    process boundary inside every map/reduce task of a spilling job."""
+    """Where one job's shuffle files live, and how records are encoded.
+    Picklable: it crosses the process boundary inside every map/reduce task
+    of a spilling job."""
 
     root: str
     job_name: str
     num_partitions: int
+    codec: str = "pickle"
+
+    def __post_init__(self):
+        if self.codec not in SPILL_CODECS:
+            raise ValueError(
+                f"unknown spill codec {self.codec!r}; known: {SPILL_CODECS}"
+            )
 
     def path(self, map_task: int, partition: int) -> Path:
-        return Path(self.root) / f"{self.job_name}.m{map_task:05d}.p{partition:05d}.pkl"
+        ext = _CODEC_EXTS[self.codec]
+        return Path(self.root) / (
+            f"{self.job_name}.m{map_task:05d}.p{partition:05d}.{ext}"
+        )
+
+    # ------------------------------------------------------------ record codec
+    def _encode_payload(self, values: list) -> bytes:
+        """Encode one key-run (every value a map task emitted under one
+        key).  Run-level framing amortizes per-frame overhead and, for the
+        pickle codec, lets same-key records share pickle memoization."""
+        if self.codec == "binary":
+            return encode_value(values)
+        return pickle.dumps(values, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _decode_payload(self, payload: bytes) -> list:
+        if self.codec == "binary":
+            values, end = decode_value(payload)
+            if end != len(payload):
+                raise FrameCorruptionError(
+                    f"{len(payload) - end} trailing bytes after spill run "
+                    "(corrupt length varint inside the payload)"
+                )
+            return values
+        return pickle.loads(payload)
 
     # ------------------------------------------------------------- map side
-    def write_map_output(self, map_task: int, buckets: list[list[tuple]]) -> list[int]:
+    def write_map_output(self, map_task: int, buckets: list[list[tuple]]) -> SpillWriteResult:
         """Spill one map task's partitioned output; returns per-partition
-        record counts (the only thing shipped back to the parent)."""
+        record counts and bytes written (the only things shipped back to the
+        parent)."""
         Path(self.root).mkdir(parents=True, exist_ok=True)
         counts = []
+        total_bytes = 0
         for partition, bucket in enumerate(buckets):
             counts.append(len(bucket))
             if not bucket:
@@ -52,28 +130,96 @@ class SpillLayout:
             final = self.path(map_task, partition)
             tmp = final.with_suffix(f".tmp{os.getpid()}")
             with open(tmp, "wb") as fh:
-                pickle.dump(bucket, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                total_bytes += self._write_bucket(fh, bucket)
             os.replace(tmp, final)
-        return counts
+        return SpillWriteResult(counts, total_bytes)
+
+    def _write_bucket(self, fh, bucket: list[tuple]) -> int:
+        """Encode one bucket as key-sorted run frames — one frame per
+        distinct key, holding that key's values in emission order (so the
+        merged stream reproduces the in-memory shuffle's value order
+        exactly); returns bytes written."""
+        runs: dict[bytes, list] = {}
+        for key, value in bucket:
+            kb = key_bytes(key)
+            values = runs.get(kb)
+            if values is None:
+                runs[kb] = [value]
+            else:
+                values.append(value)
+        written = write_stream_header(fh, _CODEC_IDS[self.codec])
+        for kb in sorted(runs):
+            written += write_frame(fh, kb, self._encode_payload(runs[kb]))
+        return written
 
     # ---------------------------------------------------------- reduce side
-    def read_partition(self, partition: int, num_map_tasks: int) -> list[tuple]:
-        """Merge one partition's spill files in map-task order (matching the
-        in-memory shuffle's concatenation order exactly)."""
-        pairs: list[tuple] = []
+    def _iter_file(self, path: Path):
+        """Yield ``(key_bytes, values)`` run frames from one spill file,
+        streamed through a bounded buffer."""
+        with open(path, "rb", buffering=_READ_BUFFER_BYTES) as fh:
+            codec_id = read_stream_header(fh)
+            if codec_id != _CODEC_IDS[self.codec]:
+                raise ValueError(
+                    f"spill file {path} written with codec id {codec_id}, "
+                    f"layout expects {self.codec!r}"
+                )
+            for kb, payload in iter_frames(fh):
+                yield kb, self._decode_payload(payload)
+
+    def _iter_merged(self, partition: int, num_map_tasks: int):
+        """K-way merge of one partition's files: globally key-sorted
+        ``(key_bytes, values)`` run stream, ties broken toward lower map
+        tasks (``heapq.merge`` is stable), holding one run per file in
+        memory."""
+        streams = []
         for map_task in range(num_map_tasks):
             path = self.path(map_task, partition)
-            if not path.exists():  # empty bucket — never written
-                continue
-            with open(path, "rb") as fh:
-                pairs.extend(pickle.load(fh))
-        return pairs
+            if path.exists():  # empty buckets were never written
+                streams.append(self._iter_file(path))
+        if len(streams) == 1:
+            yield from streams[0]
+            return
+        yield from heapq.merge(*streams, key=itemgetter(0))
+
+    def iter_partition(self, partition: int, num_map_tasks: int):
+        """Streamed ``(key, value)`` pairs of one partition, key-sorted."""
+        for key, values in self.iter_groups(partition, num_map_tasks):
+            for value in values:
+                yield key, value
+
+    def iter_groups(self, partition: int, num_map_tasks: int):
+        """Streamed reduce groups ``(key, values)`` — the external-merge
+        replacement for ``group_sorted(read_partition(...))``: peak memory
+        is one group (plus one buffered run per spill file), not the whole
+        partition."""
+        current_kb: bytes | None = None
+        current_key = None
+        acc: list = []
+        for kb, values in self._iter_merged(partition, num_map_tasks):
+            if kb != current_kb:
+                if current_kb is not None:
+                    yield current_key, acc
+                current_kb, current_key, acc = kb, decode_key(kb), list(values)
+            else:
+                acc.extend(values)
+        if current_kb is not None:
+            yield current_key, acc
+
+    def read_partition(self, partition: int, num_map_tasks: int) -> list[tuple]:
+        """Materialize one partition (key-sorted).  Prefer the streaming
+        :meth:`iter_partition` / :meth:`iter_groups` in reduce paths."""
+        return list(self.iter_partition(partition, num_map_tasks))
 
     # ------------------------------------------------------------- cleanup
     def cleanup(self, num_map_tasks: int) -> None:
-        """Delete the job's spill files once the reduce phase is done."""
+        """Delete the job's spill files — including ``.tmp*`` partials left
+        by task attempts that died mid-write — once the reduce is done."""
         for map_task in range(num_map_tasks):
             for partition in range(self.num_partitions):
                 path = self.path(map_task, partition)
                 if path.exists():
                     path.unlink()
+        root = Path(self.root)
+        if root.exists():
+            for orphan in root.glob(f"{self.job_name}.m*.tmp*"):
+                orphan.unlink(missing_ok=True)

@@ -21,6 +21,16 @@ from repro.proto.codec import (
     encode_sample,
 )
 from repro.proto.stream import read_records, write_records
+from repro.proto.framing import (
+    FrameCorruptionError,
+    decode_value,
+    encode_value,
+    iter_frames,
+    read_stream_header,
+    register_record,
+    write_frame,
+    write_stream_header,
+)
 
 __all__ = [
     "encode_unsigned",
@@ -34,4 +44,12 @@ __all__ = [
     "CodecError",
     "read_records",
     "write_records",
+    "FrameCorruptionError",
+    "encode_value",
+    "decode_value",
+    "register_record",
+    "iter_frames",
+    "write_frame",
+    "write_stream_header",
+    "read_stream_header",
 ]

@@ -45,7 +45,9 @@ class TestPipelineCommands:
             "--output", "flat/train", "--dfs", dfs, "--workers", "1",
         ])
         assert rc == 0
-        assert "GraphFlat: wrote" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "GraphFlat: wrote" in out
+        assert "shuffle:" in out  # codec accounting line
         assert DistFileSystem(dfs).exists("flat/train")
 
         rc = main([
@@ -68,6 +70,27 @@ class TestPipelineCommands:
         assert rc == 0
         assert "scored" in capsys.readouterr().out
         assert DistFileSystem(dfs).count_records("scores") == len(ds.nodes)
+
+    def test_graphflat_codec_flag_outputs_identical(self, workspace, capsys):
+        """--shuffle-codec pickle and binary (with a spill dir, so the codec
+        is actually exercised) must produce byte-identical datasets."""
+        tmp_path, ds = workspace
+        shards = {}
+        for codec in ("pickle", "binary"):
+            dfs = str(tmp_path / f"dfs-{codec}")
+            rc = main([
+                "graphflat",
+                "-n", str(tmp_path / "nodes.tsv"),
+                "-e", str(tmp_path / "edges.tsv"),
+                "--targets", str(tmp_path / "targets.txt"),
+                "--output", "flat/train", "--dfs", dfs, "--workers", "1",
+                "--spill-dir", str(tmp_path / f"spill-{codec}"),
+                "--shuffle-codec", codec,
+            ])
+            assert rc == 0
+            assert f"({codec} codec" in capsys.readouterr().out
+            shards[codec] = list(DistFileSystem(dfs).read_dataset("flat/train"))
+        assert shards["pickle"] == shards["binary"]
 
     def test_trainer_rejects_empty_dataset(self, tmp_path, capsys):
         fs = DistFileSystem(tmp_path / "dfs")
