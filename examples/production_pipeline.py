@@ -18,7 +18,7 @@ from pathlib import Path
 from repro.core.graphflat import GraphFlatConfig, graph_flat
 from repro.core.infer import GraphInferConfig, graph_infer
 from repro.core.infer.pipeline import decode_prediction
-from repro.core.trainer import GraphTrainer, TrainerConfig
+from repro.core.trainer import GraphTrainer, TrainerConfig, open_sample_source
 from repro.datasets import cora_like, read_edge_table, read_node_table, write_edge_table, write_node_table
 from repro.mapreduce import DistFileSystem, FailureInjector, LocalRuntime
 from repro.nn.gnn import GCNModel
@@ -48,12 +48,14 @@ def main():
     graph_flat(nodes, edges, dataset.test_ids, flat_config, runtime, fs, "flat/test")
     print(
         f"GraphFlat: {fs.count_records('flat/train')} train records in "
-        f"{fs.num_shards('flat/train')} shards "
+        f"{fs.num_shards('flat/train')} {fs.layout('flat/train')} shards "
         f"({fs.size_bytes('flat/train') / 2**10:.0f} KiB); "
         f"{runtime.injector.injected} worker failures were injected and retried"
     )
 
-    # --- training streams records straight from the DFS shards ------------
+    # --- training runs off the DFS shards through the layout-aware source
+    # (mmap'd batch slicing for columnar shards, per-record decoding for
+    # row shards — same samples either way) --------------------------------
     model = GCNModel(
         in_dim=nodes.feature_dim, hidden_dim=16,
         num_classes=dataset.num_classes, num_layers=2, seed=0,
@@ -61,8 +63,8 @@ def main():
     trainer = GraphTrainer(
         model, TrainerConfig(batch_size=32, epochs=30, lr=0.02, task="multiclass")
     )
-    trainer.fit(list(fs.read_dataset("flat/train")))
-    accuracy = trainer.evaluate(list(fs.read_dataset("flat/test")))
+    trainer.fit(open_sample_source(fs, "flat/train"))
+    accuracy = trainer.evaluate(open_sample_source(fs, "flat/test"))
     print(f"test accuracy: {accuracy:.3f}")
 
     # --- GraphInfer writes the scored dataset for downstream jobs ---------

@@ -21,9 +21,15 @@ import numpy as np
 
 from repro.core.graphflat import SAMPLING_REGISTRY, GraphFlatConfig, graph_flat
 from repro.core.infer import GraphInferConfig, graph_infer
-from repro.core.trainer import GraphTrainer, TrainerConfig, decode_samples
+from repro.core.trainer import (
+    GraphTrainer,
+    TrainerConfig,
+    decode_samples,
+    open_sample_source,
+)
 from repro.datasets.io import read_edge_table, read_node_table
 from repro.mapreduce import BACKEND_REGISTRY, DistFileSystem
+from repro.mapreduce.fs import DATASET_LAYOUTS
 from repro.nn.gnn import MODEL_REGISTRY, build_model
 
 __all__ = ["main", "save_model", "load_model"]
@@ -111,13 +117,15 @@ def _cmd_graphflat(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        dataset_layout=args.dataset_layout,
     )
     fs = DistFileSystem(args.dfs)
     # The config owns the runtime (graph_flat builds and closes it).
     result = graph_flat(nodes, edges, targets, config, fs=fs, dataset_name=args.output)
     print(
         f"GraphFlat: wrote {result.num_targets} GraphFeatures to "
-        f"{args.dfs}/{args.output} ({len(result.hub_nodes)} hub nodes re-indexed, "
+        f"{args.dfs}/{args.output} ({args.dataset_layout} shards, "
+        f"{len(result.hub_nodes)} hub nodes re-indexed, "
         f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
     )
     _print_shuffle_summary(result.round_stats, args.shuffle_codec)
@@ -126,19 +134,21 @@ def _cmd_graphflat(args) -> int:
 
 def _cmd_graphtrainer(args) -> int:
     fs = DistFileSystem(args.dfs)
-    samples = decode_samples(fs.read_dataset(args.input))
-    if not samples:
+    # Layout-aware: columnar datasets train off mmap'd shards, row datasets
+    # are decoded into memory — the trainer sees the same samples either way.
+    source = open_sample_source(fs, args.input)
+    if not len(source):
         print("no training samples found", file=sys.stderr)
         return 1
-    probe = samples[0].graph_feature
-    if samples[0].label is None:
+    probe = source.sample(0).graph_feature
+    if source.label_kind == "none":
         print("training data is unlabeled", file=sys.stderr)
         return 1
-    if np.ndim(samples[0].label) == 0:
-        num_classes = int(max(int(s.label) for s in samples)) + 1
+    if source.label_kind == "int":
+        num_classes = source.max_int_label() + 1
         task = "binary" if num_classes == 2 and args.task == "auto" else "multiclass"
     else:
-        num_classes = len(samples[0].label)
+        num_classes = source.label_dim
         task = "multilabel"
     if args.task != "auto":
         task = args.task
@@ -155,12 +165,16 @@ def _cmd_graphtrainer(args) -> int:
         TrainerConfig(
             batch_size=args.batch_size, epochs=args.epochs, lr=args.lr,
             task=task, seed=args.seed,
+            prefetch_backend=args.prefetch_backend,
+            prefetch_workers=args.prefetch_workers,
         ),
     )
-    history = trainer.fit(samples)
+    history = trainer.fit(source)
     save_model(args.model_out, model, args.model)
     print(
-        f"GraphTrainer: {args.model} x{args.layers} on {len(samples)} samples, "
+        f"GraphTrainer: {args.model} x{args.layers} on {len(source)} samples "
+        f"({fs.layout(args.input)} shards, {args.prefetch_backend} x"
+        f"{args.prefetch_workers} prefetch), "
         f"loss {history[0]['loss']:.4f} -> {history[-1]['loss']:.4f}, "
         f"model saved to {args.model_out}"
     )
@@ -177,6 +191,7 @@ def _cmd_describe(args) -> int:
         return 1
     records = list(fs.read_dataset(args.dataset))
     print(f"dataset:  {args.dataset}")
+    print(f"layout:   {fs.layout(args.dataset)}")
     print(f"shards:   {fs.num_shards(args.dataset)}")
     print(f"records:  {len(records)}")
     print(f"bytes:    {fs.size_bytes(args.dataset)}")
@@ -223,6 +238,7 @@ def _cmd_graphinfer(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        dataset_layout=args.dataset_layout,
     )
     targets = None
     if args.targets:
@@ -258,6 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
     flat.add_argument("--targets", help="file with one target node id per line")
     flat.add_argument("--output", default="graphflat/output")
     flat.add_argument("--shards", type=int, default=4)
+    flat.add_argument(
+        "--dataset-layout", choices=DATASET_LAYOUTS, default="columnar",
+        help="output shard layout: mmap-able columnar matrices (default) or "
+        "framed per-sample row records",
+    )
     _add_common(flat)
     flat.set_defaults(func=_cmd_graphflat)
 
@@ -273,6 +294,15 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument(
         "--task", choices=["auto", "multiclass", "multilabel", "binary"], default="auto"
+    )
+    train.add_argument(
+        "--prefetch-workers", type=int, default=1,
+        help="minibatch-preprocessing pool size (decode + vectorize)",
+    )
+    train.add_argument(
+        "--prefetch-backend", choices=sorted(BACKEND_REGISTRY), default="threads",
+        help="preprocessing pool backend; 'processes' shards preprocessing "
+        "across cores while the main process trains",
     )
     _add_common(train)
     train.set_defaults(func=_cmd_graphtrainer)
@@ -290,6 +320,11 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--shards", type=int, default=4)
     infer.add_argument("--targets",
                        help="file of node ids: score only these (pruned pipeline)")
+    infer.add_argument(
+        "--dataset-layout", choices=DATASET_LAYOUTS, default="columnar",
+        help="prediction shard layout: stacked columnar scores (default) or "
+        "framed per-record rows",
+    )
     _add_common(infer)
     infer.set_defaults(func=_cmd_graphinfer)
 

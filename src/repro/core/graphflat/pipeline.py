@@ -38,7 +38,7 @@ from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
 from repro.graph.subgraph import GraphFeature
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
-from repro.mapreduce.fs import DistFileSystem
+from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.proto.codec import encode_sample
@@ -79,12 +79,21 @@ class GraphFlatConfig:
     """Spill record encoding: ``binary`` (flat SubgraphInfo/edge records
     instead of pickled object graphs — the default; output is byte-identical
     to ``pickle``, tested) or ``pickle``."""
+    dataset_layout: str = "columnar"
+    """DFS shard layout for the output dataset: ``columnar`` (mmap-able
+    stacked matrices that GraphTrainer slices batches from — the default;
+    samples go straight from the final reduce into the shard writer, no
+    per-sample re-framing pass) or ``row`` (framed per-sample byte strings,
+    the compatibility fallback).  ``read_dataset`` yields byte-identical
+    records either way."""
 
     def __post_init__(self):
         if self.hops < 1:
             raise ValueError("hops must be >= 1")
         if self.reindex_fanout < 2:
             raise ValueError("reindex_fanout must be >= 2")
+        if self.dataset_layout not in DATASET_LAYOUTS:
+            raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -259,7 +268,7 @@ def _graph_flat(
     round_stats: list[RunStats] = degree_stats + list(runtime.round_stats)
 
     # ---- Storing ------------------------------------------------------------
-    encoded: list[bytes] = []
+    triples: list[tuple] = []
     n_nodes: list[int] = []
     n_edges: list[int] = []
     for node_id, (tag, info) in data:
@@ -268,16 +277,25 @@ def _graph_flat(
         gf = info.to_graph_feature()
         n_nodes.append(gf.num_nodes)
         n_edges.append(gf.num_edges)
-        encoded.append(encode_sample(node_id, label_of(node_id), gf))
+        triples.append((node_id, label_of(node_id), gf))
 
     result = GraphFlatResult(
-        num_targets=len(encoded),
+        num_targets=len(triples),
         hops=config.hops,
         hub_nodes=sorted(hubs),
         round_stats=round_stats,
         neighborhood_nodes=np.asarray(n_nodes, dtype=np.int64),
         neighborhood_edges=np.asarray(n_edges, dtype=np.int64),
     )
+    if fs is not None and config.dataset_layout == "columnar":
+        # Columnar shards take the triples directly — no per-sample
+        # re-framing pass between the final reduce and the DFS.
+        fs.write_dataset(
+            dataset_name, triples, num_shards=config.num_shards, layout="columnar"
+        )
+        result.dataset = dataset_name
+        return result
+    encoded = [encode_sample(node_id, label, gf) for node_id, label, gf in triples]
     if fs is not None:
         fs.write_dataset(dataset_name, encoded, num_shards=config.num_shards)
         result.dataset = dataset_name

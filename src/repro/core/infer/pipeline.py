@@ -25,10 +25,11 @@ from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
 from repro.core.infer.segmentation import ModelSlice, segment_model
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
-from repro.mapreduce.fs import DistFileSystem
+from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.nn.gnn.base import GNNModel
+from repro.proto.codec import decode_prediction, encode_prediction
 from repro.proto.framing import (
     decode_edge_fields,
     decode_value,
@@ -124,6 +125,15 @@ class GraphInferConfig:
     """Spill record encoding: ``binary`` (flat embedding/edge records —
     the default; output is byte-identical to ``pickle``, tested) or
     ``pickle``."""
+    dataset_layout: str = "columnar"
+    """DFS shard layout for the predictions dataset: ``columnar`` (stacked
+    ``node_ids`` + score matrix per shard — the default) or ``row`` (framed
+    per-record byte strings).  ``read_dataset`` yields byte-identical
+    records either way."""
+
+    def __post_init__(self):
+        if self.dataset_layout not in DATASET_LAYOUTS:
+            raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -145,22 +155,6 @@ class GraphInferResult:
     embedding_computations: int = 0
     """Total per-node layer evaluations — exactly ``K * |V|`` here; the
     original module's count grows with neighborhood overlap instead."""
-
-
-def encode_prediction(node_id: int, scores: np.ndarray) -> bytes:
-    out = bytearray()
-    out += encode_signed(int(node_id))
-    vec = np.asarray(scores, dtype="<f4").ravel()
-    out += encode_unsigned(len(vec))
-    out += vec.tobytes()
-    return bytes(out)
-
-
-def decode_prediction(data: bytes) -> tuple[int, np.ndarray]:
-    node_id, offset = decode_signed(data, 0)
-    length, offset = decode_unsigned(data, offset)
-    scores = np.frombuffer(data[offset : offset + 4 * length], dtype="<f4").copy()
-    return node_id, scores
 
 
 def _distance_to_targets(
@@ -323,11 +317,20 @@ def _graph_infer(
         embedding_computations=embedding_computations,
     )
     if fs is not None:
-        fs.write_dataset(
-            dataset_name,
-            (encode_prediction(v, s) for v, s in data),
-            num_shards=config.num_shards,
-        )
+        if config.dataset_layout == "columnar":
+            fs.write_dataset(
+                dataset_name,
+                [(int(v), s) for v, s in data],
+                num_shards=config.num_shards,
+                layout="columnar",
+                kind="predictions",
+            )
+        else:
+            fs.write_dataset(
+                dataset_name,
+                (encode_prediction(v, s) for v, s in data),
+                num_shards=config.num_shards,
+            )
         result.dataset = dataset_name
     else:
         result.scores = {int(v): s for v, s in data}

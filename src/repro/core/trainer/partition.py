@@ -21,12 +21,17 @@ tests assert bit-level agreement with the scatter backend.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn.gnn.block import EdgeBlock
 
-__all__ = ["EdgePartitionAggregator", "partitioned_backend_factory"]
+__all__ = [
+    "EdgePartitionAggregator",
+    "PartitionedAggregatorFactory",
+    "partitioned_backend_factory",
+]
 
 
 class EdgePartitionAggregator:
@@ -116,11 +121,36 @@ class EdgePartitionAggregator:
         self-loop-augmented block GAT builds)."""
         return EdgePartitionAggregator(block.dst, self.num_partitions, self.threads)
 
+    # ----------------------------------------------------------- pickling
+    # Aggregators ride inside prepared batches across the process-pool
+    # prefetch boundary; the thread pool is per-process state, rebuilt on
+    # the receiving side.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
 
-def partitioned_backend_factory(num_partitions: int = 4, threads: int = 1):
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.threads > 1:
+            self._pool = ThreadPoolExecutor(max_workers=self.threads)
+
+
+@dataclass(frozen=True)
+class PartitionedAggregatorFactory:
+    """Picklable factory suitable for ``vectorize_batch(aggregator_factory=
+    ...)`` — a top-level dataclass (not a closure) so trainer configs using
+    edge partitioning work under the ``processes`` prefetch backend."""
+
+    num_partitions: int = 4
+    threads: int = 1
+
+    def __call__(self, block: EdgeBlock) -> EdgePartitionAggregator:
+        return EdgePartitionAggregator(block.dst, self.num_partitions, self.threads)
+
+
+def partitioned_backend_factory(
+    num_partitions: int = 4, threads: int = 1
+) -> PartitionedAggregatorFactory:
     """Factory suitable for ``vectorize_batch(aggregator_factory=...)``."""
-
-    def build(block: EdgeBlock) -> EdgePartitionAggregator:
-        return EdgePartitionAggregator(block.dst, num_partitions, threads)
-
-    return build
+    return PartitionedAggregatorFactory(num_partitions, threads)

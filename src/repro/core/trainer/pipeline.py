@@ -4,27 +4,76 @@
 including data reading and subgraph vectorization, and model computation
 stage.  The two stages operate in a parallel manner."
 
-A background thread decodes + vectorizes upcoming batches into a bounded
-queue while the caller trains on the current one.  Because preprocessing is
-cheaper than model computation, steady-state epoch time collapses to the
-compute time alone — the claim bench_ablation_pipeline measures.
+Preprocessing (decode + vectorize) runs ahead of the training loop and
+feeds a bounded queue the caller drains.  The preprocessing stage itself
+is pluggable: it reuses the MapReduce backend registry
+(``serial``/``threads``/``processes``), so with ``backend="processes"``
+minibatch preprocessing shards across cores while the main process trains
+— the GIL no longer caps the storage layer.  Batches may be lists of
+wire-format bytes, decoded :class:`TrainSample` objects, or picklable refs
+with a ``load_samples()`` method (columnar shard slices — see
+``repro.core.trainer.dataset``), which is what keeps the process backend's
+per-batch IPC to a few ints each way plus the prepared tensors back.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.trainer.vectorize import TrainSample, decode_samples, vectorize_batch
+from repro.mapreduce.backends import (
+    BACKEND_REGISTRY,
+    Backend,
+    WorkerCrashError,
+    make_backend,
+)
 from repro.nn.gnn.block import BatchInputs
 from repro.utils.timer import TimerRegistry
 
-__all__ = ["BatchPipeline"]
+__all__ = ["BatchPipeline", "BatchPreparer"]
 
 _SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class BatchPreparer:
+    """Picklable preprocessing operator: one batch in, model inputs out.
+
+    Top-level dataclass (not a closure) so the ``processes`` prefetch
+    backend can ship it to worker processes, mirroring the GraphFlat
+    operator refactor.
+    """
+
+    num_layers: int
+    pruning: bool = True
+    aggregator_factory: object | None = None
+
+    def resolve(self, batch) -> list[TrainSample]:
+        """Materialise a batch: bytes are decoded, refs are loaded."""
+        if hasattr(batch, "load_samples"):
+            return batch.load_samples()
+        if batch and isinstance(batch[0], (bytes, bytearray)):
+            return decode_samples(batch)
+        return batch
+
+    def __call__(self, batch) -> tuple[BatchInputs, np.ndarray | None, float]:
+        """Returns ``(inputs, labels, preprocess_seconds)`` — the elapsed
+        time rides along because pool workers cannot reach the caller's
+        :class:`TimerRegistry`."""
+        start = time.perf_counter()
+        inputs, labels = vectorize_batch(
+            self.resolve(batch),
+            self.num_layers,
+            pruning=self.pruning,
+            aggregator_factory=self.aggregator_factory,
+        )
+        return inputs, labels, time.perf_counter() - start
 
 
 class BatchPipeline:
@@ -34,7 +83,8 @@ class BatchPipeline:
     ----------
     batches:
         iterable of batches; each batch is a list of wire-format ``bytes``
-        records or already-decoded :class:`TrainSample` objects.
+        records, already-decoded :class:`TrainSample` objects, or a batch
+        ref with ``load_samples()`` (columnar shard slice).
     num_layers / pruning / aggregator_factory:
         forwarded to :func:`vectorize_batch`.
     enabled:
@@ -42,63 +92,144 @@ class BatchPipeline:
         without the pipeline strategy — the ablation baseline).
     prefetch:
         queue depth; how many vectorized batches may sit ready.
+    backend / workers:
+        preprocessing pool: a backend name from the MapReduce registry
+        (``serial``/``threads``/``processes``) and its worker count.  The
+        default (``threads``, 1) is the classic single prefetch thread;
+        ``processes`` with N workers shards preprocessing across cores.
+        ``serial`` runs inline, like ``enabled=False``.  Passing a
+        :class:`~repro.mapreduce.backends.Backend` *instance* borrows it
+        (the caller keeps ownership — how GraphTrainer reuses one process
+        pool across epochs instead of respawning workers every epoch).
     timers:
         optional :class:`TimerRegistry`; preprocessing time lands in
-        ``"preprocess"`` (regardless of which thread spent it).
+        ``"preprocess"`` (regardless of which thread or process spent it).
     """
 
     def __init__(
         self,
-        batches: Iterable[list],
+        batches: Iterable,
         num_layers: int,
         pruning: bool = True,
         aggregator_factory=None,
         enabled: bool = True,
         prefetch: int = 4,
         timers: TimerRegistry | None = None,
+        backend: str | Backend = "threads",
+        workers: int = 1,
     ):
         if prefetch < 1:
             raise ValueError("prefetch must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(backend, Backend):
+            self._backend_obj: Backend | None = backend
+            backend = backend.name
+        else:
+            self._backend_obj = None
+        if backend not in BACKEND_REGISTRY:
+            raise ValueError(
+                f"unknown prefetch backend {backend!r}; known: {sorted(BACKEND_REGISTRY)}"
+            )
         self._batches = batches
-        self._num_layers = num_layers
-        self._pruning = pruning
-        self._aggregator_factory = aggregator_factory
+        self._prepare = BatchPreparer(num_layers, pruning, aggregator_factory)
         self._enabled = enabled
         self._prefetch = prefetch
+        self._backend = backend
+        self._workers = workers
         self._timers = timers if timers is not None else TimerRegistry()
 
     # ----------------------------------------------------------- internals
-    def _prepare(self, batch: list) -> tuple[BatchInputs, np.ndarray | None]:
-        with self._timers.timing("preprocess"):
-            if batch and isinstance(batch[0], (bytes, bytearray)):
-                samples: list[TrainSample] = decode_samples(batch)
-            else:
-                samples = batch
-            return vectorize_batch(
-                samples,
-                self._num_layers,
-                pruning=self._pruning,
-                aggregator_factory=self._aggregator_factory,
-            )
+    def _record(self, seconds: float) -> None:
+        timer = self._timers["preprocess"]
+        timer.total += seconds
+        timer.count += 1
 
-    def __iter__(self) -> Iterator[tuple[BatchInputs, np.ndarray | None]]:
-        if not self._enabled:
-            for batch in self._batches:
-                yield self._prepare(batch)
-            return
+    def _iter_sequential(self) -> Iterator[tuple[BatchInputs, np.ndarray | None]]:
+        for batch in self._batches:
+            with self._timers.timing("preprocess"):
+                inputs, labels, _ = self._prepare(batch)
+            yield inputs, labels
 
+    def _iter_single_thread(self) -> Iterator[tuple[BatchInputs, np.ndarray | None]]:
+        """The classic two-stage pipeline: one background prefetch thread.
+
+        Timing runs through ``timers.timing`` on the producer thread so
+        interval records (used to *prove* stage overlap in the ablation
+        benchmark) are preserved."""
         out: queue.Queue = queue.Queue(maxsize=self._prefetch)
         error: list[BaseException] = []
 
         def producer():
             try:
                 for batch in self._batches:
-                    out.put(self._prepare(batch))
+                    with self._timers.timing("preprocess"):
+                        inputs, labels, _ = self._prepare(batch)
+                    out.put((inputs, labels))
             except BaseException as exc:  # surface in the consumer thread
                 error.append(exc)
             finally:
                 out.put(_SENTINEL)
 
+        yield from self._drain(producer, out, error)
+
+    def _iter_pool(self) -> Iterator[tuple[BatchInputs, np.ndarray | None]]:
+        """Worker-pool prefetch: the producer thread walks the batch list in
+        windows of ``workers`` tasks, executes each window on the registry
+        backend, and feeds results into the bounded queue in batch order.
+
+        Windowed ``execute`` calls are the registry's phase contract, so a
+        window boundary is a mini-barrier (idle workers wait on the
+        window's straggler); the bounded queue keeps the *consumer* fed
+        across windows, which is the overlap that matters here — batch
+        costs are near-uniform, so straggler slack stays small."""
+        out: queue.Queue = queue.Queue(maxsize=self._prefetch)
+        error: list[BaseException] = []
+
+        def plain_retrier(task_id, call):
+            # Preprocessing is pure, so a crashed pool worker is retried
+            # MapReduce-style (bounded) instead of aborting the epoch.
+            for attempt in range(3):
+                try:
+                    return call()
+                except WorkerCrashError:
+                    if attempt == 2:
+                        raise
+
+        def producer():
+            owns = self._backend_obj is None
+            backend = self._backend_obj or make_backend(self._backend, self._workers)
+            try:
+                window: list = []
+                batch_iter = iter(self._batches)
+                exhausted = False
+                while not exhausted:
+                    window.clear()
+                    for batch in batch_iter:
+                        window.append(batch)
+                        if len(window) >= self._workers:
+                            break
+                    else:
+                        exhausted = True
+                    if not window:
+                        break
+                    tasks = [
+                        (f"prefetch-{i}", self._prepare, (batch,))
+                        for i, batch in enumerate(window)
+                    ]
+                    for inputs, labels, seconds in backend.execute(tasks, plain_retrier):
+                        self._record(seconds)
+                        out.put((inputs, labels))
+            except BaseException as exc:
+                error.append(exc)
+            finally:
+                if owns:
+                    backend.close()
+                out.put(_SENTINEL)
+
+        yield from self._drain(producer, out, error)
+
+    def _drain(self, producer, out: queue.Queue, error: list):
         worker = threading.Thread(target=producer, name="agl-preprocess", daemon=True)
         worker.start()
         try:
@@ -117,3 +248,10 @@ class BatchPipeline:
                     worker.join(timeout=0.05)
         if error:
             raise error[0]
+
+    def __iter__(self) -> Iterator[tuple[BatchInputs, np.ndarray | None]]:
+        if not self._enabled or self._backend == "serial":
+            return self._iter_sequential()
+        if self._workers == 1 and self._backend == "threads":
+            return self._iter_single_thread()
+        return self._iter_pool()

@@ -24,9 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.trainer.dataset import SampleSource, as_sample_source
 from repro.core.trainer.partition import partitioned_backend_factory
 from repro.core.trainer.pipeline import BatchPipeline
 from repro.core.trainer.vectorize import TrainSample, decode_samples
+from repro.mapreduce.backends import BACKEND_REGISTRY, make_backend
 from repro.metrics import accuracy, micro_f1, roc_auc
 from repro.nn import Adam, SGD, bce_with_logits_loss, no_grad, softmax_cross_entropy
 from repro.nn.gnn.base import GNNModel
@@ -54,6 +56,13 @@ class TrainerConfig:
     partition_threads: int = 1
     pipeline: bool = True
     prefetch: int = 4
+    prefetch_backend: str = "threads"
+    """Preprocessing-pool backend (MapReduce backend registry name:
+    ``serial`` / ``threads`` / ``processes``).  ``threads`` with one worker
+    is the classic single prefetch thread; ``processes`` shards minibatch
+    preprocessing across cores while the main process trains."""
+    prefetch_workers: int = 1
+    """Worker count for the preprocessing pool."""
     shuffle: bool = True
     seed: int = 0
     early_stopping_patience: int | None = None
@@ -70,6 +79,12 @@ class TrainerConfig:
             raise ValueError("batch_size >= 1 and epochs >= 0 required")
         if self.early_stopping_patience is not None and self.early_stopping_patience < 1:
             raise ValueError("early_stopping_patience must be >= 1")
+        if self.prefetch_backend not in BACKEND_REGISTRY:
+            raise ValueError(
+                f"prefetch_backend must be one of {sorted(BACKEND_REGISTRY)}"
+            )
+        if self.prefetch_workers < 1:
+            raise ValueError("prefetch_workers must be >= 1")
 
 
 class GraphTrainer:
@@ -94,6 +109,7 @@ class GraphTrainer:
         else:
             self.optimizer = None
         self.history: list[dict] = []
+        self._prefetch_pool = None
 
     # ----------------------------------------------------------------- data
     @staticmethod
@@ -103,24 +119,44 @@ class GraphTrainer:
             return decode_samples(data)
         return data
 
-    def _make_batches(self, samples: list[TrainSample], shuffle: bool) -> list[list[TrainSample]]:
-        order = np.arange(len(samples))
+    @staticmethod
+    def _as_source(data) -> SampleSource:
+        """Accept wire bytes, decoded samples, or any :class:`SampleSource`
+        (e.g. an mmap'd columnar dataset)."""
+        return as_sample_source(data)
+
+    def _make_batches(self, source: SampleSource, shuffle: bool) -> list[tuple]:
+        """``(batch, index_array)`` pairs; the batch object is whatever the
+        source hands the pipeline (sample lists, or columnar batch refs)."""
+        order = np.arange(len(source))
         if shuffle:
             self._rng.shuffle(order)
         bs = self.config.batch_size
         return [
-            [samples[i] for i in order[lo : lo + bs]] for lo in range(0, len(order), bs)
+            (source.batch(order[lo : lo + bs]), order[lo : lo + bs])
+            for lo in range(0, len(order), bs)
         ]
 
-    def _pipeline(self, batches: list[list[TrainSample]], train: bool) -> BatchPipeline:
+    def _prefetch_backend(self):
+        """Shared preprocessing pool, built once and reused across epochs
+        (a process pool would otherwise respawn workers every epoch)."""
+        if self._prefetch_pool is None:
+            self._prefetch_pool = make_backend(
+                self.config.prefetch_backend, self.config.prefetch_workers
+            )
+        return self._prefetch_pool
+
+    def _pipeline(self, batches: list[tuple], train: bool) -> BatchPipeline:
         return BatchPipeline(
-            batches,
+            [batch for batch, _ in batches],
             num_layers=self.model.num_layers,
             pruning=self.config.pruning,
             aggregator_factory=self._aggregator_factory,
             enabled=self.config.pipeline,
             prefetch=self.config.prefetch,
             timers=self.timers,
+            backend=self._prefetch_backend(),
+            workers=self.config.prefetch_workers,
         )
 
     # ----------------------------------------------------------------- loss
@@ -138,11 +174,11 @@ class GraphTrainer:
     # ------------------------------------------------------------- training
     def train_epoch(self, samples) -> float:
         """One pass over the data; returns the mean batch loss."""
-        samples = self._as_samples(samples)
-        if not samples:
+        source = self._as_source(samples)
+        if not len(source):
             raise ValueError("no training samples")
         self.model.train()
-        batches = self._make_batches(samples, self.config.shuffle)
+        batches = self._make_batches(source, self.config.shuffle)
         losses = []
         for batch, labels in self._pipeline(batches, train=True):
             if labels is None:
@@ -172,8 +208,8 @@ class GraphTrainer:
         dicts (loss, wall time, optional validation metric).  With
         ``early_stopping_patience`` set and validation data provided, stops
         once the metric plateaus and restores the best parameters seen."""
-        train_samples = self._as_samples(train_samples)
-        val = None if val_samples is None else self._as_samples(val_samples)
+        train_samples = self._as_source(train_samples)
+        val = None if val_samples is None else self._as_source(val_samples)
         patience = self.config.early_stopping_patience
         if patience is not None and val is None:
             raise ValueError("early stopping requires val_samples")
@@ -255,30 +291,31 @@ class GraphTrainer:
     # ------------------------------------------------------------ inference
     def predict(self, samples) -> tuple[np.ndarray, np.ndarray]:
         """``(target_ids, logits)`` over all samples, batched, no autograd."""
-        samples = self._as_samples(samples)
+        source = self._as_source(samples)
         self.model.eval()
         outs = []
-        batches = self._make_batches(samples, shuffle=False)
+        batches = self._make_batches(source, shuffle=False)
         with no_grad():
             for batch, _ in self._pipeline(batches, train=False):
                 logits = self.model(batch)
                 outs.append(logits.data.copy())
         # Logit rows follow each batch's merged (sorted, deduped) target ids.
+        ids = source.ids()
         target_ids = np.concatenate(
-            [np.unique([s.target_id for s in b]) for b in batches]
+            [np.unique(ids[indices]) for _, indices in batches]
         ).astype(np.int64)
         return target_ids, np.concatenate(outs, axis=0)
 
     def evaluate(self, samples, metric: str | None = None) -> float:
         """Metric over samples: accuracy (multiclass), micro-F1
         (multilabel) or ROC-AUC (binary) unless overridden."""
-        samples = self._as_samples(samples)
+        source = self._as_source(samples)
         if metric is None:
             metric = {"multiclass": "accuracy", "multilabel": "micro_f1", "binary": "auc"}[
                 self.config.task
             ]
-        label_by_id = {int(s.target_id): s.label for s in samples}
-        target_ids, logits = self.predict(samples)
+        label_by_id = source.labels_by_id()
+        target_ids, logits = self.predict(source)
         labels = [label_by_id[int(t)] for t in target_ids]
         if metric == "accuracy":
             return accuracy(logits, np.asarray(labels, dtype=np.int64))

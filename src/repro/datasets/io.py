@@ -22,6 +22,13 @@ def _fmt_vec(vec: np.ndarray) -> str:
     return ",".join(repr(float(x)) for x in vec)
 
 
+def _parse_vec(text: str) -> np.ndarray:
+    """Comma-joined floats -> float32 vector (``np.fromstring`` emitted a
+    ``DeprecationWarning`` per row; ``np.array`` over the split is the
+    supported — and faster — replacement)."""
+    return np.array(text.split(","), dtype=np.float32)
+
+
 def write_node_table(path: str | Path, nodes: NodeTable) -> None:
     """Rows: ``id \\t feature_csv [\\t label]``."""
     with open(path, "w", encoding="utf-8") as fh:
@@ -46,10 +53,10 @@ def read_node_table(path: str | Path) -> NodeTable:
             if len(parts) not in (2, 3):
                 raise ValueError(f"{path}:{line_no}: expected 2-3 columns, got {len(parts)}")
             ids.append(int(parts[0]))
-            feats.append(np.fromstring(parts[1], sep=",", dtype=np.float32))
+            feats.append(_parse_vec(parts[1]))
             if len(parts) == 3:
                 if "," in parts[2]:
-                    labels.append(np.fromstring(parts[2], sep=",", dtype=np.float32))
+                    labels.append(_parse_vec(parts[2]))
                 else:
                     labels.append(int(parts[2]))
     label_arr = np.asarray(labels) if labels else None
@@ -82,7 +89,7 @@ def read_edge_table(path: str | Path) -> EdgeTable:
             dst.append(int(parts[1]))
             weights.append(float(parts[2]))
             if len(parts) == 4:
-                feats.append(np.fromstring(parts[3], sep=",", dtype=np.float32))
+                feats.append(_parse_vec(parts[3]))
     if feats and len(feats) != len(src):
         raise ValueError(f"{path}: some rows have edge features and some do not")
     return EdgeTable(

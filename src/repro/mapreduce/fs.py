@@ -2,27 +2,55 @@
 
 GraphFlat's output ("flattened to protobuf strings and stored on a
 distributed file system", §3.2.1) and GraphInfer's inputs/outputs live here.
-The abstraction is deliberately thin — named sharded datasets of framed byte
-records — because that is all the paper's pipelines require of the real DFS.
+The abstraction is deliberately thin — named sharded datasets — because that
+is all the paper's pipelines require of the real DFS.
+
+Two shard layouts exist (see ``repro.proto``):
+
+* ``row`` — each shard is a framed stream of per-record byte strings
+  (``repro.proto.stream``); simple, append-friendly, but consumers must
+  decode record by record.
+* ``columnar`` — each shard is one mmap-able ``AGLC`` frame of stacked
+  matrices + offset tables (``repro.proto.columnar``); trainers slice
+  batches out of the mapping instead of decoding.
+
+Reading is layout-transparent: :meth:`DistFileSystem.read_dataset` and
+:meth:`~DistFileSystem.read_shard` always yield row wire records (columnar
+shards re-encode on the fly, byte-identically), while
+:meth:`~DistFileSystem.open_shard` exposes the zero-copy columnar reader.
+A ``_META.json`` per dataset records the layout and per-shard record counts,
+which is what makes :meth:`~DistFileSystem.count_records` O(num_shards)
+instead of a full byte scan.
 """
 
 from __future__ import annotations
 
+import json
 import shutil
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 
+from repro.proto.codec import CodecError
+from repro.proto.columnar import (
+    ColumnarShard,
+    shard_record_count,
+    write_prediction_shard,
+    write_sample_shard,
+)
 from repro.proto.stream import read_records, write_records
 
-__all__ = ["DistFileSystem"]
+__all__ = ["DATASET_LAYOUTS", "DistFileSystem"]
+
+DATASET_LAYOUTS = ("row", "columnar")
+_META_NAME = "_META.json"
 
 
 class DistFileSystem:
     """Sharded record datasets rooted at a local directory.
 
-    A *dataset* is a directory of ``part-NNNNN`` files, each a framed record
-    stream (see ``repro.proto.stream``).  Shards are the unit of parallelism
-    for downstream consumers (training workers read disjoint shard subsets).
+    A *dataset* is a directory of ``part-NNNNN`` files plus a ``_META.json``
+    sidecar.  Shards are the unit of parallelism for downstream consumers
+    (training workers read disjoint shard subsets).
     """
 
     def __init__(self, root: str | Path):
@@ -35,8 +63,23 @@ class DistFileSystem:
         return self.root / name
 
     # -------------------------------------------------------------- writing
-    def write_dataset(self, name: str, records: Iterable[bytes], num_shards: int = 1) -> int:
+    def write_dataset(
+        self,
+        name: str,
+        records: Iterable,
+        num_shards: int = 1,
+        layout: str = "row",
+        kind: str = "samples",
+    ) -> int:
         """Write ``records`` round-robin into ``num_shards`` part files.
+
+        With ``layout="row"``, records are wire-format ``bytes``.  With
+        ``layout="columnar"``, records may be wire bytes *or* structured
+        records — ``(target_id, label, GraphFeature)`` triples for
+        ``kind="samples"``, ``(node_id, scores)`` pairs for
+        ``kind="predictions"`` — which lets producers skip the per-record
+        framing pass entirely.  Record order is preserved either way:
+        reading shard-major yields the same sequence for both layouts.
 
         Returns the record count.  Overwrites any existing dataset of the
         same name (jobs are idempotent: re-running a failed job replaces
@@ -44,17 +87,30 @@ class DistFileSystem:
         """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if layout not in DATASET_LAYOUTS:
+            raise ValueError(f"layout must be one of {DATASET_LAYOUTS}, got {layout!r}")
         directory = self._dataset_dir(name)
         if directory.exists():
             shutil.rmtree(directory)
         directory.mkdir(parents=True)
-        buckets: list[list[bytes]] = [[] for _ in range(num_shards)]
+        buckets: list[list] = [[] for _ in range(num_shards)]
         count = 0
         for record in records:
             buckets[count % num_shards].append(record)
             count += 1
+        counts = []
         for shard, bucket in enumerate(buckets):
-            write_records(directory / f"part-{shard:05d}", bucket)
+            path = directory / f"part-{shard:05d}"
+            if layout == "row":
+                counts.append(write_records(path, bucket))
+            elif kind == "predictions":
+                counts.append(write_prediction_shard(path, bucket))
+            else:
+                counts.append(write_sample_shard(path, bucket))
+        meta = {"layout": layout, "record_counts": counts, "total_records": count}
+        if layout == "columnar":
+            meta["kind"] = kind
+        (directory / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
         return count
 
     # -------------------------------------------------------------- reading
@@ -65,18 +121,55 @@ class DistFileSystem:
             raise FileNotFoundError(f"dataset {name!r} not found under {self.root}")
         return sorted(directory.glob("part-*"))
 
+    @staticmethod
+    def _shard_records(path: Path, layout: str) -> Iterator[bytes]:
+        if layout == "columnar":
+            yield from ColumnarShard(path).iter_wire()
+        else:
+            yield from read_records(path)
+
     def read_dataset(self, name: str) -> Iterator[bytes]:
-        """Yield every record of every shard, shard order then record order."""
-        for shard in self.shards(name):
-            yield from read_records(shard)
+        """Yield every record of every shard, shard order then record order.
+
+        Layout-transparent: columnar shards are re-encoded to the row wire
+        form on the fly (byte-identical to a row write of the same records).
+        """
+        layout = self.layout(name)  # resolved once, not per shard
+        for path in self.shards(name):
+            yield from self._shard_records(path, layout)
 
     def read_shard(self, name: str, shard_index: int) -> Iterator[bytes]:
         shards = self.shards(name)
         if not 0 <= shard_index < len(shards):
             raise IndexError(f"dataset {name!r} has {len(shards)} shards")
-        yield from read_records(shards[shard_index])
+        yield from self._shard_records(shards[shard_index], self.layout(name))
+
+    def open_shard(self, name: str, shard_index: int) -> ColumnarShard:
+        """Zero-copy :class:`ColumnarShard` reader (columnar datasets only)."""
+        if self.layout(name) != "columnar":
+            raise ValueError(
+                f"dataset {name!r} has row layout; open_shard needs columnar"
+            )
+        shards = self.shards(name)
+        if not 0 <= shard_index < len(shards):
+            raise IndexError(f"dataset {name!r} has {len(shards)} shards")
+        return ColumnarShard(shards[shard_index])
 
     # ------------------------------------------------------------- metadata
+    def _meta(self, name: str) -> dict | None:
+        path = self._dataset_dir(name) / _META_NAME
+        if not path.is_file():
+            return None
+        return json.loads(path.read_text())
+
+    def layout(self, name: str) -> str:
+        """Shard layout of a dataset; pre-metadata datasets default to row."""
+        meta = self._meta(name)
+        if meta is None:
+            self.shards(name)  # raise FileNotFoundError for absent datasets
+            return "row"
+        return meta["layout"]
+
     def exists(self, name: str) -> bool:
         return self._dataset_dir(name).is_dir()
 
@@ -84,7 +177,17 @@ class DistFileSystem:
         return len(self.shards(name))
 
     def count_records(self, name: str) -> int:
-        return sum(1 for _ in self.read_dataset(name))
+        """Dataset record count — O(1) from metadata when available,
+        O(num_shards) from columnar headers, full scan only for legacy
+        row datasets written without metadata."""
+        meta = self._meta(name)
+        if meta is not None:
+            return int(meta["total_records"])
+        shards = self.shards(name)
+        try:
+            return sum(shard_record_count(p) for p in shards)
+        except CodecError:  # legacy row shards: no header to consult
+            return sum(1 for _ in self.read_dataset(name))
 
     def size_bytes(self, name: str) -> int:
         return sum(p.stat().st_size for p in self.shards(name))

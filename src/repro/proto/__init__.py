@@ -16,11 +16,19 @@ from repro.proto.varint import (
 from repro.proto.codec import (
     CodecError,
     decode_graph_feature,
+    decode_prediction,
     decode_sample,
     encode_graph_feature,
+    encode_prediction,
     encode_sample,
 )
 from repro.proto.stream import read_records, write_records
+from repro.proto.columnar import (
+    ColumnarShard,
+    shard_record_count,
+    write_prediction_shard,
+    write_sample_shard,
+)
 from repro.proto.framing import (
     FrameCorruptionError,
     decode_value,
@@ -41,9 +49,15 @@ __all__ = [
     "decode_graph_feature",
     "encode_sample",
     "decode_sample",
+    "encode_prediction",
+    "decode_prediction",
     "CodecError",
     "read_records",
     "write_records",
+    "ColumnarShard",
+    "shard_record_count",
+    "write_prediction_shard",
+    "write_sample_shard",
     "FrameCorruptionError",
     "encode_value",
     "decode_value",

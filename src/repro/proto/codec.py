@@ -33,6 +33,8 @@ __all__ = [
     "decode_graph_feature",
     "encode_sample",
     "decode_sample",
+    "encode_prediction",
+    "decode_prediction",
 ]
 
 _MAGIC = b"AGLF"
@@ -200,3 +202,21 @@ def decode_sample(data: bytes) -> tuple[int, int | np.ndarray | None, GraphFeatu
     if offset != len(data):
         raise CodecError(f"{len(data) - offset} trailing bytes after sample")
     return target_id, label, gf
+
+
+def encode_prediction(node_id: int, scores: np.ndarray) -> bytes:
+    """Encode one GraphInfer output record ``<NodeId, score vector>``."""
+    out = bytearray()
+    out += encode_signed(int(node_id))
+    vec = np.asarray(scores, dtype="<f4").ravel()
+    out += encode_unsigned(len(vec))
+    out += vec.tobytes()
+    return bytes(out)
+
+
+def decode_prediction(data: bytes) -> tuple[int, np.ndarray]:
+    """Inverse of :func:`encode_prediction`."""
+    node_id, offset = decode_signed(data, 0)
+    length, offset = decode_unsigned(data, offset)
+    scores = np.frombuffer(data[offset : offset + 4 * length], dtype="<f4").copy()
+    return node_id, scores

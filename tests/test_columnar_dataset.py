@@ -1,0 +1,314 @@
+"""Columnar shard format + layout-aware dataset path: codec round-trips,
+byte-identity with the row layout, O(num_shards) counting, trainer-ingest
+numerical identity across layouts x prefetch backends, and the worker-pool
+prefetch pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import (
+    BatchPipeline,
+    ColumnarDataset,
+    GraphTrainer,
+    MemorySamples,
+    TrainerConfig,
+    decode_samples,
+    open_sample_source,
+)
+from repro.mapreduce import DistFileSystem
+from repro.nn.gnn import GCNModel
+from repro.proto.codec import decode_prediction, decode_sample
+from repro.proto.columnar import ColumnarShard, shard_record_count, write_sample_shard
+
+
+@pytest.fixture(scope="module")
+def flat_cora(mini_cora):
+    """In-memory wire records from a 2-hop GraphFlat run."""
+    ds = mini_cora
+    config = GraphFlatConfig(hops=2, max_neighbors=20, hub_threshold=10**9)
+    return graph_flat(ds.nodes, ds.edges, ds.train_ids, config).samples
+
+
+class TestColumnarShard:
+    def test_round_trip_exact(self, tmp_path, flat_cora):
+        triples = [decode_sample(r) for r in flat_cora]
+        path = tmp_path / "part-00000"
+        assert write_sample_shard(path, triples) == len(triples)
+        shard = ColumnarShard(path)
+        assert len(shard) == len(triples)
+        for i, (tid, label, gf) in enumerate(triples):
+            stid, slabel, sgf = shard.sample(i)
+            assert stid == tid
+            assert slabel == label and type(slabel) is type(label)
+            np.testing.assert_array_equal(sgf.node_ids, gf.node_ids)
+            np.testing.assert_array_equal(sgf.x, gf.x)
+            np.testing.assert_array_equal(sgf.hops, gf.hops)
+            np.testing.assert_array_equal(sgf.edge_src, gf.edge_src)
+            np.testing.assert_array_equal(sgf.edge_dst, gf.edge_dst)
+            np.testing.assert_array_equal(sgf.edge_weight, gf.edge_weight)
+
+    def test_wire_re_encoding_is_byte_identical(self, tmp_path, flat_cora):
+        path = tmp_path / "part-00000"
+        write_sample_shard(path, flat_cora)  # accepts wire bytes directly
+        assert list(ColumnarShard(path).iter_wire()) == list(flat_cora)
+
+    def test_header_carries_count_and_meta(self, tmp_path, flat_cora):
+        path = tmp_path / "part-00000"
+        write_sample_shard(path, flat_cora)
+        assert shard_record_count(path) == len(flat_cora)
+        shard = ColumnarShard(path)
+        gf = decode_sample(flat_cora[0])[2]
+        assert shard.meta["feature_dim"] == gf.feature_dim
+        assert shard.label_kind == "int"
+
+    def test_vector_labels_and_empty_shard(self, tmp_path, flat_cora):
+        _, _, gf = decode_sample(flat_cora[0])
+        vec = np.asarray([0.0, 1.0, 1.0], dtype=np.float32)
+        path = tmp_path / "vec"
+        write_sample_shard(path, [(7, vec, gf)])
+        tid, label, _ = ColumnarShard(path).sample(0)
+        assert tid == 7
+        np.testing.assert_array_equal(label, vec)
+
+        empty = tmp_path / "empty"
+        write_sample_shard(empty, [])
+        assert shard_record_count(empty) == 0
+        assert list(ColumnarShard(empty).iter_wire()) == []
+
+    def test_mixed_labels_rejected(self, tmp_path, flat_cora):
+        t0, l0, gf = decode_sample(flat_cora[0])
+        with pytest.raises(ValueError):
+            write_sample_shard(tmp_path / "bad", [(t0, l0, gf), (t0, None, gf)])
+
+    def test_corrupt_header_detected(self, tmp_path, flat_cora):
+        from repro.proto.codec import CodecError
+
+        path = tmp_path / "part-00000"
+        write_sample_shard(path, flat_cora)
+        raw = bytearray(path.read_bytes())
+        raw[20] ^= 0xFF  # flip a header byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CodecError):
+            ColumnarShard(path)
+
+
+class TestFilesystemLayouts:
+    def test_read_dataset_layout_transparent(self, tmp_path, flat_cora):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("row", flat_cora, num_shards=3)
+        fs.write_dataset(
+            "col", [decode_sample(r) for r in flat_cora], num_shards=3, layout="columnar"
+        )
+        assert fs.layout("row") == "row"
+        assert fs.layout("col") == "columnar"
+        assert list(fs.read_dataset("col")) == list(fs.read_dataset("row"))
+        assert [len(list(fs.read_shard("col", i))) for i in range(3)] == [
+            len(list(fs.read_shard("row", i))) for i in range(3)
+        ]
+
+    def test_count_records_uses_metadata(self, tmp_path, flat_cora):
+        fs = DistFileSystem(tmp_path)
+        for layout in ("row", "columnar"):
+            fs.write_dataset(f"d/{layout}", flat_cora, num_shards=3, layout=layout)
+            assert fs.count_records(f"d/{layout}") == len(flat_cora)
+        # Columnar headers still answer in O(num_shards) without metadata;
+        # legacy row datasets fall back to the scan.
+        for layout in ("row", "columnar"):
+            (tmp_path / f"d/{layout}" / "_META.json").unlink()
+            assert fs.count_records(f"d/{layout}") == len(flat_cora)
+
+    def test_open_shard_requires_columnar(self, tmp_path, flat_cora):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("row", flat_cora, num_shards=2)
+        with pytest.raises(ValueError):
+            fs.open_shard("row", 0)
+        fs.write_dataset("col", flat_cora, num_shards=2, layout="columnar")
+        assert len(fs.open_shard("col", 0)) + len(fs.open_shard("col", 1)) == len(flat_cora)
+
+    def test_bad_layout_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            DistFileSystem(tmp_path).write_dataset("x", [], layout="diagonal")
+
+
+class TestGraphFlatLayouts:
+    def test_dfs_outputs_byte_identical_across_layouts(self, mini_cora, tmp_path):
+        ds = mini_cora
+        fs = DistFileSystem(tmp_path)
+        for layout in ("row", "columnar"):
+            config = GraphFlatConfig(hops=2, max_neighbors=20, dataset_layout=layout)
+            result = graph_flat(
+                ds.nodes, ds.edges, ds.train_ids, config, fs=fs,
+                dataset_name=f"flat/{layout}",
+            )
+            assert result.dataset == f"flat/{layout}"
+        assert list(fs.read_dataset("flat/columnar")) == list(fs.read_dataset("flat/row"))
+        assert fs.layout("flat/columnar") == "columnar"
+
+    def test_infer_outputs_byte_identical_across_layouts(self, mini_cora, tmp_path):
+        ds = mini_cora
+        fs = DistFileSystem(tmp_path)
+        model = GCNModel(ds.feature_dim, 8, ds.num_classes, num_layers=2, seed=0)
+        for layout in ("row", "columnar"):
+            config = GraphInferConfig(max_neighbors=10**9, dataset_layout=layout)
+            graph_infer(model, ds.nodes, ds.edges, config, fs=fs,
+                        dataset_name=f"scores/{layout}")
+        row = list(fs.read_dataset("scores/row"))
+        col = list(fs.read_dataset("scores/columnar"))
+        assert row == col
+        node_id, scores = decode_prediction(col[0])
+        assert scores.shape == (ds.num_classes,)
+
+    def test_invalid_layout_config(self):
+        with pytest.raises(ValueError):
+            GraphFlatConfig(dataset_layout="diagonal")
+        with pytest.raises(ValueError):
+            GraphInferConfig(dataset_layout="diagonal")
+
+
+class TestColumnarDatasetSource:
+    @pytest.fixture()
+    def fs_both(self, mini_cora, tmp_path):
+        ds = mini_cora
+        fs = DistFileSystem(tmp_path)
+        for layout in ("row", "columnar"):
+            config = GraphFlatConfig(hops=2, max_neighbors=20, dataset_layout=layout)
+            graph_flat(ds.nodes, ds.edges, ds.train_ids, config, fs=fs,
+                       dataset_name=f"flat/{layout}")
+        return fs
+
+    def test_source_matches_row_order_and_content(self, fs_both):
+        row = open_sample_source(fs_both, "flat/row")
+        col = open_sample_source(fs_both, "flat/columnar")
+        assert isinstance(row, MemorySamples) and isinstance(col, ColumnarDataset)
+        assert len(row) == len(col)
+        np.testing.assert_array_equal(row.ids(), col.ids())
+        for i in range(len(row)):
+            a, b = row.sample(i), col.sample(i)
+            assert a.target_id == b.target_id and a.label == b.label
+            np.testing.assert_array_equal(a.graph_feature.x, b.graph_feature.x)
+        assert row.labels_by_id() == col.labels_by_id()
+        assert row.label_kind == col.label_kind == "int"
+        assert row.max_int_label() == col.max_int_label()
+
+    def test_batch_ref_pickles_and_loads(self, fs_both):
+        import pickle
+
+        col = open_sample_source(fs_both, "flat/columnar")
+        ref = col.batch(np.asarray([3, 0, 5]))
+        clone = pickle.loads(pickle.dumps(ref))
+        samples = clone.load_samples()
+        assert [s.target_id for s in samples] == [
+            col.sample(i).target_id for i in (3, 0, 5)
+        ]
+
+    def test_rewritten_dataset_not_served_stale(self, mini_cora, tmp_path):
+        ds = mini_cora
+        fs = DistFileSystem(tmp_path)
+        config = GraphFlatConfig(hops=1, max_neighbors=10, dataset_layout="columnar")
+        graph_flat(ds.nodes, ds.edges, ds.train_ids, config, fs=fs, dataset_name="d")
+        assert len(open_sample_source(fs, "d")) == len(ds.train_ids)
+        graph_flat(ds.nodes, ds.edges, ds.train_ids[:3], config, fs=fs, dataset_name="d")
+        assert len(open_sample_source(fs, "d")) == 3
+
+
+class TestTrainingIdentityAcrossLayouts:
+    """Acceptance: columnar shards train to numerically identical per-epoch
+    losses/metrics as the row path, across prefetch backends x workers."""
+
+    @pytest.fixture(scope="class")
+    def fs_both(self, tmp_path_factory):
+        from repro.datasets import cora_like
+
+        ds = cora_like(seed=7, num_nodes=300, num_edges=900)
+        fs = DistFileSystem(tmp_path_factory.mktemp("dfs"))
+        for layout in ("row", "columnar"):
+            config = GraphFlatConfig(hops=2, max_neighbors=20, dataset_layout=layout)
+            graph_flat(ds.nodes, ds.edges, ds.train_ids, config, fs=fs,
+                       dataset_name=f"flat/{layout}")
+        return ds, fs
+
+    def _run(self, ds, fs, layout, backend, workers):
+        model = GCNModel(ds.feature_dim, 12, ds.num_classes, num_layers=2, seed=5)
+        trainer = GraphTrainer(
+            model,
+            TrainerConfig(
+                batch_size=8, epochs=2, lr=0.01, seed=9,
+                prefetch_backend=backend, prefetch_workers=workers,
+            ),
+        )
+        source = open_sample_source(fs, f"flat/{layout}")
+        history = trainer.fit(source)
+        return [h["loss"] for h in history], trainer.evaluate(source)
+
+    @pytest.mark.parametrize(
+        "layout,backend,workers",
+        [
+            ("columnar", "threads", 1),
+            ("columnar", "threads", 3),
+            ("columnar", "serial", 1),
+            ("row", "threads", 3),
+        ],
+    )
+    def test_loss_trajectory_identical(self, fs_both, layout, backend, workers):
+        ds, fs = fs_both
+        ref = self._run(ds, fs, "row", "threads", 1)
+        got = self._run(ds, fs, layout, backend, workers)
+        assert got == ref
+
+    def test_loss_trajectory_identical_processes(self, fs_both):
+        """Process-pool prefetch: batches ship as shard locators, prepared
+        tensors come back — same losses to the bit."""
+        ds, fs = fs_both
+        ref = self._run(ds, fs, "row", "threads", 1)
+        got = self._run(ds, fs, "columnar", "processes", 2)
+        assert got == ref
+
+
+class TestPipelineWorkerPool:
+    def _batches(self, flat_cora):
+        samples = decode_samples(flat_cora)
+        return [samples[i : i + 6] for i in range(0, len(samples), 6)]
+
+    def test_pool_matches_single_thread(self, flat_cora):
+        batches = self._batches(flat_cora)
+        ref = list(BatchPipeline(batches, 2, backend="threads", workers=1))
+        pool = list(BatchPipeline(batches, 2, backend="threads", workers=3))
+        assert len(ref) == len(pool) == len(batches)
+        for (b1, l1), (b2, l2) in zip(ref, pool):
+            np.testing.assert_array_equal(b1.x, b2.x)
+            np.testing.assert_array_equal(l1, l2)
+
+    def test_pool_errors_surface(self, flat_cora):
+        batches = self._batches(flat_cora) + [[]]  # empty batch raises
+        with pytest.raises(ValueError):
+            list(BatchPipeline(batches, 2, backend="threads", workers=3))
+
+    def test_serial_backend_runs_inline(self, flat_cora):
+        from repro.utils.timer import TimerRegistry
+
+        timers = TimerRegistry()
+        batches = self._batches(flat_cora)
+        out = list(BatchPipeline(batches, 2, backend="serial", timers=timers))
+        assert len(out) == len(batches)
+        assert timers["preprocess"].count == len(batches)
+
+    def test_pool_preprocess_time_recorded(self, flat_cora):
+        from repro.utils.timer import TimerRegistry
+
+        timers = TimerRegistry()
+        batches = self._batches(flat_cora)
+        list(BatchPipeline(batches, 2, backend="threads", workers=2, timers=timers))
+        assert timers["preprocess"].count == len(batches)
+        assert timers["preprocess"].total > 0
+
+    def test_invalid_knobs_rejected(self, flat_cora):
+        with pytest.raises(ValueError):
+            BatchPipeline([], 2, backend="hovercraft")
+        with pytest.raises(ValueError):
+            BatchPipeline([], 2, workers=0)
+        with pytest.raises(ValueError):
+            TrainerConfig(prefetch_backend="hovercraft")
+        with pytest.raises(ValueError):
+            TrainerConfig(prefetch_workers=0)

@@ -169,3 +169,18 @@ class TestTableIO:
         path.write_text("1\t0.5\n2\n")
         with pytest.raises(ValueError, match=":2"):
             read_node_table(path)
+
+    def test_parsing_is_warning_free(self, tmp_path, tiny_tables):
+        """Regression: the old ``np.fromstring`` parser emitted a
+        ``DeprecationWarning`` on every TSV row."""
+        import warnings
+
+        nodes, edges = tiny_tables
+        write_node_table(tmp_path / "nodes.tsv", nodes)
+        write_edge_table(tmp_path / "edges.tsv", edges)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            back_nodes = read_node_table(tmp_path / "nodes.tsv")
+            back_edges = read_edge_table(tmp_path / "edges.tsv")
+        np.testing.assert_allclose(back_nodes.features, nodes.features)
+        np.testing.assert_allclose(back_edges.features, edges.features)

@@ -156,6 +156,66 @@ class TestPlumbing:
         assert totals["preprocess"] > 0 and totals["compute"] > 0
 
 
+class TestCheckpointResume:
+    """save_checkpoint/load_checkpoint through a real file: resuming
+    mid-``fit`` must reproduce the uninterrupted run exactly — model,
+    optimizer state and the data-order RNG all round-trip."""
+
+    def _trainer(self, mini_cora, epochs):
+        return GraphTrainer(
+            make_model(mini_cora, seed=11),
+            TrainerConfig(batch_size=8, epochs=epochs, lr=0.01, seed=13),
+        )
+
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_resume_mid_fit_matches_uninterrupted(
+        self, mini_cora, cora_flat, tmp_path, optimizer
+    ):
+        train, _ = cora_flat
+        subset = train[:48]
+
+        straight = GraphTrainer(
+            make_model(mini_cora, seed=11),
+            TrainerConfig(batch_size=8, epochs=4, lr=0.01, seed=13, optimizer=optimizer),
+        )
+        straight.fit(subset)
+
+        first = GraphTrainer(
+            make_model(mini_cora, seed=11),
+            TrainerConfig(batch_size=8, epochs=2, lr=0.01, seed=13, optimizer=optimizer),
+        )
+        first.fit(subset)
+        first.save_checkpoint(tmp_path / "ckpt.pkl")
+
+        resumed = GraphTrainer(
+            make_model(mini_cora, seed=99),  # different init: must be overwritten
+            TrainerConfig(batch_size=8, epochs=2, lr=0.01, seed=13, optimizer=optimizer),
+        )
+        resumed.load_checkpoint(tmp_path / "ckpt.pkl")
+        assert [h["loss"] for h in resumed.history] == [
+            h["loss"] for h in straight.history[:2]
+        ]
+        resumed.fit(subset)  # two more epochs from the restored RNG state
+
+        assert [h["loss"] for h in resumed.history] == [
+            h["loss"] for h in straight.history
+        ]
+        for name, value in straight.model.state_dict().items():
+            np.testing.assert_array_equal(resumed.model.state_dict()[name], value)
+
+    def test_optimizer_kind_mismatch_rejected(self, mini_cora, cora_flat, tmp_path):
+        train, _ = cora_flat
+        adam = self._trainer(mini_cora, epochs=1)
+        adam.fit(train[:16])
+        adam.save_checkpoint(tmp_path / "ckpt.pkl")
+        sgd = GraphTrainer(
+            make_model(mini_cora),
+            TrainerConfig(batch_size=8, epochs=1, optimizer="sgd"),
+        )
+        with pytest.raises(ValueError):
+            sgd.load_checkpoint(tmp_path / "ckpt.pkl")
+
+
 def make_model_from(records):
     """Build a model whose input dim matches the decoded samples."""
     from repro.core.trainer import decode_samples
