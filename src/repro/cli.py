@@ -80,6 +80,65 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_dist(parser: argparse.ArgumentParser) -> None:
+    """Distributed-training knobs (§3.3's GraphTrainer ``dist_configs``)."""
+    parser.add_argument(
+        "--dist-workers", type=int, default=0,
+        help="data-parallel training workers; 0 trains single-process, "
+        ">= 1 trains against a parameter-server group",
+    )
+    parser.add_argument(
+        "--dist-mode", choices=["async", "bsp", "ssp"], default="async",
+        help="PS consistency: apply-on-arrival, barrier-averaged, or "
+        "bounded staleness",
+    )
+    parser.add_argument(
+        "--dist-backend", choices=["threads", "processes"], default="processes",
+        help="worker execution: threads of this process, or real OS "
+        "processes (true multi-core gradient computation)",
+    )
+    parser.add_argument(
+        "--dist-transport", choices=["auto", "local", "shm"], default="auto",
+        help="PS transport: in-process lock-based state, or shared-memory "
+        "slabs (zero-copy version-keyed pulls; required for processes)",
+    )
+    parser.add_argument(
+        "--dist-servers", type=int, default=2,
+        help="parameter-server shard count",
+    )
+    parser.add_argument(
+        "--staleness", type=int, default=2,
+        help="SSP staleness bound (steps the fastest worker may run ahead)",
+    )
+
+
+def _dist_config(args):
+    """DistributedConfig from CLI knobs; invalid combinations exit with a
+    usage-style message instead of a traceback."""
+    from repro.ps import DistributedConfig
+
+    try:
+        return DistributedConfig(
+            num_workers=max(args.dist_workers, 1),
+            num_servers=args.dist_servers,
+            mode=args.dist_mode,
+            staleness=args.staleness,
+            seed=args.seed,
+            worker_backend=args.dist_backend,
+            transport=None if args.dist_transport == "auto" else args.dist_transport,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: invalid --dist configuration: {exc}")
+
+
+def _topology_line(dist) -> str:
+    return (
+        f"ps topology: servers={dist.num_servers} workers={dist.num_workers} "
+        f"mode={dist.mode} transport={dist.transport} "
+        f"backend={dist.worker_backend} staleness={dist.staleness}"
+    )
+
+
 def _backend_name(args) -> str:
     if args.backend != "auto":
         return args.backend
@@ -159,16 +218,37 @@ def _cmd_graphtrainer(args) -> int:
     )
     if args.model == "gat":
         kwargs["num_heads"] = args.heads
-    model = build_model(args.model, **kwargs)
-    trainer = GraphTrainer(
-        model,
-        TrainerConfig(
-            batch_size=args.batch_size, epochs=args.epochs, lr=args.lr,
-            task=task, seed=args.seed,
-            prefetch_backend=args.prefetch_backend,
-            prefetch_workers=args.prefetch_workers,
-        ),
+    trainer_config = TrainerConfig(
+        batch_size=args.batch_size, epochs=args.epochs, lr=args.lr,
+        task=task, seed=args.seed,
+        prefetch_backend=args.prefetch_backend,
+        prefetch_workers=args.prefetch_workers,
     )
+    if args.dist_workers >= 1:
+        import functools
+
+        from repro.ps import DistributedTrainer
+
+        dist = _dist_config(args)
+        factory = functools.partial(build_model, args.model, **kwargs)
+        with DistributedTrainer(factory, trainer_config, dist) as trainer:
+            history = trainer.fit(source)
+            model = trainer.server_model()
+            pulls = trainer.pull_stats()
+        save_model(args.model_out, model, args.model)
+        print(_topology_line(dist))
+        print(
+            f"GraphTrainer: {args.model} x{args.layers} on {len(source)} samples "
+            f"({fs.layout(args.input)} shards, {dist.num_workers} "
+            f"{dist.worker_backend} workers, {dist.transport} transport), "
+            f"loss {history[0]['loss']:.4f} -> {history[-1]['loss']:.4f}, "
+            f"{pulls['refreshes']}/{pulls['pulls']} pulls refreshed "
+            f"({pulls['pull_bytes']} transport bytes), "
+            f"model saved to {args.model_out}"
+        )
+        return 0
+    model = build_model(args.model, **kwargs)
+    trainer = GraphTrainer(model, trainer_config)
     history = trainer.fit(source)
     save_model(args.model_out, model, args.model)
     print(
@@ -195,6 +275,14 @@ def _cmd_describe(args) -> int:
     print(f"shards:   {fs.num_shards(args.dataset)}")
     print(f"records:  {len(records)}")
     print(f"bytes:    {fs.size_bytes(args.dataset)}")
+    # The PS topology a `graphtrainer` run over this dataset would use with
+    # the same --dist-* flags (validates the combination up front).  With no
+    # --dist-workers, training is single-process and uses no PS at all.
+    if args.dist_workers >= 1:
+        print(_topology_line(_dist_config(args)))
+    else:
+        print("ps topology: none (single-process; pass --dist-workers N "
+              "for a parameter-server run)")
     if not records:
         return 0
     try:
@@ -305,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
         "across cores while the main process trains",
     )
     _add_common(train)
+    _add_dist(train)
     train.set_defaults(func=_cmd_graphtrainer)
 
     infer = sub.add_parser("graphinfer", help="segmented-model inference")
@@ -333,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     describe.add_argument("--sample", type=int, default=256,
                           help="records to decode for statistics")
     _add_common(describe)
+    _add_dist(describe)
     describe.set_defaults(func=_cmd_describe)
     return parser
 

@@ -19,6 +19,7 @@ Components map one-to-one onto the paper's Figure 4:
 from repro.core.trainer.vectorize import TrainSample, decode_samples, vectorize_batch
 from repro.core.trainer.dataset import (
     ColumnarDataset,
+    ColumnarSlice,
     MemorySamples,
     SampleSource,
     as_sample_source,
@@ -34,6 +35,7 @@ __all__ = [
     "decode_samples",
     "vectorize_batch",
     "ColumnarDataset",
+    "ColumnarSlice",
     "MemorySamples",
     "SampleSource",
     "as_sample_source",

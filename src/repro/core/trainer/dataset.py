@@ -33,6 +33,7 @@ from repro.proto.columnar import ColumnarShard
 __all__ = [
     "ColumnarBatchRef",
     "ColumnarDataset",
+    "ColumnarSlice",
     "MemorySamples",
     "SampleSource",
     "as_sample_source",
@@ -147,6 +148,11 @@ def _cached_shard(path: str) -> ColumnarShard:
     return shard
 
 
+def _load_locator(shard_paths: tuple[str, ...], locator: tuple[int, int]) -> TrainSample:
+    shard, row = locator
+    return TrainSample(*_cached_shard(shard_paths[shard]).sample(row))
+
+
 @dataclass(frozen=True)
 class ColumnarBatchRef:
     """Picklable pointer to one batch: shard paths + (shard, row) locators.
@@ -159,10 +165,44 @@ class ColumnarBatchRef:
     locators: tuple[tuple[int, int], ...]
 
     def load_samples(self) -> list[TrainSample]:
-        return [
-            TrainSample(*_cached_shard(self.shard_paths[shard]).sample(row))
-            for shard, row in self.locators
-        ]
+        return [_load_locator(self.shard_paths, loc) for loc in self.locators]
+
+
+@dataclass
+class ColumnarSlice(SampleSource):
+    """Picklable worker shard: a fixed subsequence of a columnar dataset.
+
+    This is how a distributed-training worker *process* receives its data
+    assignment: shard paths plus ``(shard, row)`` locators — a few ints per
+    sample — instead of the samples themselves.  The worker opens the
+    mmap'd shards through the per-process cache, so sample bytes never
+    transit the parent.  Built by :meth:`ColumnarDataset.slice`.
+    """
+
+    shard_paths: tuple[str, ...]
+    locators: tuple[tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.locators)
+
+    def sample(self, i: int) -> TrainSample:
+        return _load_locator(self.shard_paths, self.locators[int(i)])
+
+    def ids(self) -> np.ndarray:
+        if not self.locators:
+            return np.zeros(0, dtype=np.int64)
+        locs = np.asarray(self.locators, dtype=np.int64)
+        out = np.empty(len(locs), dtype=np.int64)
+        for shard in np.unique(locs[:, 0]):  # one id-column read per shard
+            mask = locs[:, 0] == shard
+            ids = _cached_shard(self.shard_paths[int(shard)]).array("sample_ids")
+            out[mask] = ids[locs[mask, 1]]
+        return out
+
+    def batch(self, indices) -> ColumnarBatchRef:
+        return ColumnarBatchRef(
+            self.shard_paths, tuple(self.locators[int(i)] for i in indices)
+        )
 
 
 class ColumnarDataset(SampleSource):
@@ -209,6 +249,12 @@ class ColumnarDataset(SampleSource):
 
     def batch(self, indices) -> ColumnarBatchRef:
         return ColumnarBatchRef(
+            self._paths, tuple(self._locate(int(i)) for i in indices)
+        )
+
+    def slice(self, indices) -> ColumnarSlice:
+        """Picklable sub-source over ``indices`` (worker shard assignment)."""
+        return ColumnarSlice(
             self._paths, tuple(self._locate(int(i)) for i in indices)
         )
 

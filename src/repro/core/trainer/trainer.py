@@ -185,7 +185,12 @@ class GraphTrainer:
                 raise ValueError("training batch has no labels")
             with self.timers.timing("compute"):
                 if self.ps is not None:
-                    self.model.load_state_dict(self.ps.pull())
+                    # Version-keyed pull cache: the client returns None when
+                    # no server update landed since the last pull, so the
+                    # state-dict copy is skipped entirely on unchanged steps.
+                    state = self.ps.pull()
+                    if state is not None:
+                        self.model.load_state_dict(state)
                 self.model.zero_grad()
                 logits = self.model(batch)
                 loss = self._loss(logits, labels)

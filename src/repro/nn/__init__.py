@@ -9,7 +9,7 @@ every op are verified against central finite differences in the test suite.
 
 from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
 from repro.nn import ops
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import Module, Parameter, Sequential, StateLayout
 from repro.nn.layers import Dense, Dropout
 from repro.nn.loss import bce_with_logits_loss, l2_regularization, softmax_cross_entropy
 from repro.nn.optim import SGD, Adam, Optimizer
@@ -23,6 +23,7 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "StateLayout",
     "Dense",
     "Dropout",
     "softmax_cross_entropy",

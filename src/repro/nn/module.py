@@ -11,12 +11,82 @@ framework on the wire.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
 
-__all__ = ["Parameter", "Module", "ModuleList", "Sequential"]
+__all__ = ["Parameter", "Module", "ModuleList", "Sequential", "StateLayout"]
+
+
+@dataclass(frozen=True)
+class StateLayout:
+    """Fixed mapping of a state dict onto one contiguous float32 slab.
+
+    The shared-memory parameter server keeps the whole model as a single
+    flat ``float32`` vector; this layout (sorted parameter names, C-order
+    slices) is the contract both sides agree on.  It is plain data —
+    picklable, so worker processes can carry it — and every array it hands
+    back from :meth:`unflatten` is a *view* into the given slab, which is
+    what makes a pull a view refresh instead of a serialization pass.
+    """
+
+    names: tuple[str, ...]
+    shapes: tuple[tuple[int, ...], ...]
+    offsets: tuple[int, ...]
+    total_size: int
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "StateLayout":
+        names = tuple(sorted(state))
+        shapes, offsets, offset = [], [], 0
+        for name in names:
+            # accept raw arrays or Parameter/Tensor objects (``.data`` holds
+            # the ndarray)
+            shape = tuple(np.shape(getattr(state[name], "data", state[name])))
+            shapes.append(shape)
+            offsets.append(offset)
+            offset += int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return cls(names, tuple(shapes), tuple(offsets), offset)
+
+    @classmethod
+    def from_module(cls, module: "Module") -> "StateLayout":
+        return cls.from_state(dict(module.named_parameters()))
+
+    def _slot(self, i: int) -> slice:
+        shape = self.shapes[i]
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        return slice(self.offsets[i], self.offsets[i] + size)
+
+    def flatten(self, state: dict[str, np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+        """Pack ``state`` into ``out`` (or a fresh ``float32`` vector)."""
+        if out is None:
+            out = np.empty(self.total_size, dtype=np.float32)
+        if out.shape != (self.total_size,) or out.dtype != np.float32:
+            raise ValueError(
+                f"slab must be float32[{self.total_size}], got {out.dtype}{out.shape}"
+            )
+        missing = set(self.names) - state.keys()
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for i, name in enumerate(self.names):
+            value = np.asarray(state[name], dtype=np.float32)
+            if value.shape != self.shapes[i]:
+                raise ValueError(
+                    f"parameter {name!r}: shape {value.shape} != expected {self.shapes[i]}"
+                )
+            out[self._slot(i)] = value.reshape(-1)
+        return out
+
+    def unflatten(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        """State dict of *views* into ``flat`` (no copies)."""
+        if flat.shape != (self.total_size,):
+            raise ValueError(f"expected float32[{self.total_size}], got {flat.shape}")
+        return {
+            name: flat[self._slot(i)].reshape(self.shapes[i])
+            for i, name in enumerate(self.names)
+        }
 
 
 class Parameter(Tensor):

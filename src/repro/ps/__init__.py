@@ -6,25 +6,31 @@ current version of the graph model parameters."
 
 * :class:`ParameterServerGroup` — N server shards, each owning a slice of
   the parameters with **server-side** optimizer state (Adam/SGD/momentum);
-* :class:`PSClient` — per-worker handle: ``pull()`` the full model,
-  ``push(grads)`` an update;
+  ``transport="local"`` (lock-based, single-process) or ``"shm"``
+  (shared-memory slabs + version counter — :mod:`repro.ps.shm`);
+* :class:`PSClient` / :class:`~repro.ps.shm.ShmPSClient` — per-worker
+  handles: version-cached ``pull()``, ``push(grads)``;
 * consistency modes: ``async`` (apply-on-arrival, lock per shard), ``bsp``
-  (barrier + averaged gradients) and ``ssp`` (bounded staleness);
-* :class:`DistributedTrainer` — thread-backed multi-worker training loop
-  used by the Figure 7 convergence experiment;
+  (barrier + worker-id-ordered averaged gradients) and ``ssp`` (bounded
+  staleness);
+* :class:`DistributedTrainer` — multi-worker training loop; workers are
+  threads or real OS processes (Figure 7 convergence / Figure 8 speedup);
 * :mod:`repro.ps.simulate` — calibrated discrete-event cluster model that
-  produces Figure 8's 1..100-worker speedup curve on a 2-core box.
+  produces Figure 8's 1..100-worker speedup curve on a small box.
 """
 
 from repro.ps.server import ParameterServerGroup, PSClient
-from repro.ps.distributed import DistributedTrainer, DistributedConfig
+from repro.ps.shm import ShmPSClient
+from repro.ps.distributed import DistributedTrainer, DistributedConfig, WorkerError
 from repro.ps.simulate import ClusterModel, simulate_speedup
 
 __all__ = [
     "ParameterServerGroup",
     "PSClient",
+    "ShmPSClient",
     "DistributedTrainer",
     "DistributedConfig",
+    "WorkerError",
     "ClusterModel",
     "simulate_speedup",
 ]

@@ -71,6 +71,33 @@ class TestPipelineCommands:
         assert "scored" in capsys.readouterr().out
         assert DistFileSystem(dfs).count_records("scores") == len(ds.nodes)
 
+    def test_distributed_training_knobs(self, workspace, capsys):
+        """--dist-workers trains against the parameter servers with process
+        workers over the shm transport and reports the PS topology."""
+        tmp_path, ds = workspace
+        dfs = str(tmp_path / "dfs")
+        main([
+            "graphflat",
+            "-n", str(tmp_path / "nodes.tsv"), "-e", str(tmp_path / "edges.tsv"),
+            "--hops", "1", "--max-neighbors", "10",
+            "--targets", str(tmp_path / "targets.txt"),
+            "--output", "flat/train", "--dfs", dfs, "--workers", "1",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "graphtrainer",
+            "-m", "gcn", "-i", "flat/train",
+            "--model-out", str(tmp_path / "dist-model.pkl"),
+            "--epochs", "2", "--hidden", "8", "--dfs", dfs,
+            "--dist-workers", "2", "--dist-mode", "bsp",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ps topology: servers=2 workers=2 mode=bsp transport=shm" in out
+        assert "2 processes workers, shm transport" in out
+        assert "(0 transport bytes)" in out
+        assert load_model(tmp_path / "dist-model.pkl") is not None
+
     def test_graphflat_codec_flag_outputs_identical(self, workspace, capsys):
         """--shuffle-codec pickle and binary (with a spill dir, so the codec
         is actually exercised) must produce byte-identical datasets."""
@@ -122,6 +149,30 @@ class TestDescribe:
         assert rc == 0
         assert "GraphFeature samples" in out
         assert "label distribution" in out
+        assert "ps topology: none (single-process" in out
+
+    def test_describe_reports_requested_topology(self, workspace, capsys):
+        tmp_path, ds = workspace
+        dfs = str(tmp_path / "dfs")
+        main([
+            "graphflat",
+            "-n", str(tmp_path / "nodes.tsv"), "-e", str(tmp_path / "edges.tsv"),
+            "--targets", str(tmp_path / "targets.txt"),
+            "--output", "flat/train", "--dfs", dfs, "--workers", "1",
+        ])
+        capsys.readouterr()
+        rc = main([
+            "describe", "flat/train", "--dfs", dfs,
+            "--dist-workers", "4", "--dist-mode", "ssp", "--staleness", "3",
+            "--dist-backend", "threads", "--dist-transport", "local",
+            "--dist-servers", "5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert (
+            "ps topology: servers=5 workers=4 mode=ssp transport=local "
+            "backend=threads staleness=3" in out
+        )
 
     def test_describe_missing_dataset(self, tmp_path, capsys):
         rc = main(["describe", "nope", "--dfs", str(tmp_path / "dfs")])

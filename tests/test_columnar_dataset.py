@@ -203,6 +203,25 @@ class TestColumnarDatasetSource:
             col.sample(i).target_id for i in (3, 0, 5)
         ]
 
+    def test_slice_is_picklable_sub_source(self, fs_both):
+        """ColumnarSlice — the process-worker shard assignment — round-trips
+        through pickle and serves the same samples as direct indexing."""
+        import pickle
+
+        col = open_sample_source(fs_both, "flat/columnar")
+        indices = np.asarray([4, 1, 6, 1])
+        sliced = pickle.loads(pickle.dumps(col.slice(indices)))
+        assert len(sliced) == 4
+        np.testing.assert_array_equal(sliced.ids(), col.ids()[indices])
+        for pos, i in enumerate(indices):
+            a, b = sliced.sample(pos), col.sample(int(i))
+            assert a.target_id == b.target_id and a.label == b.label
+            np.testing.assert_array_equal(a.graph_feature.x, b.graph_feature.x)
+        ref = sliced.batch(np.asarray([2, 0]))
+        assert [s.target_id for s in ref.load_samples()] == [
+            col.sample(6).target_id, col.sample(4).target_id,
+        ]
+
     def test_rewritten_dataset_not_served_stale(self, mini_cora, tmp_path):
         ds = mini_cora
         fs = DistFileSystem(tmp_path)
