@@ -13,6 +13,7 @@ GraphInfer can reload them without retraining.
 from __future__ import annotations
 
 import argparse
+import itertools
 import pickle
 import sys
 from pathlib import Path
@@ -28,9 +29,11 @@ from repro.core.trainer import (
     open_sample_source,
 )
 from repro.datasets.io import read_edge_table, read_node_table
+from repro.core.infer.pipeline import SLICE_TRANSPORTS
 from repro.mapreduce import BACKEND_REGISTRY, DistFileSystem
 from repro.mapreduce.fs import DATASET_LAYOUTS
 from repro.nn.gnn import MODEL_REGISTRY, build_model
+from repro.proto.codec import decode_prediction
 
 __all__ = ["main", "save_model", "load_model"]
 
@@ -261,6 +264,20 @@ def _cmd_graphtrainer(args) -> int:
     return 0
 
 
+def _sniff_kind(record: bytes) -> str:
+    """Legacy row datasets (written before kinds landed in ``_META.json``)
+    record nothing, so classify the first record by its wire format.  Only
+    a record that is a well-formed prediction after failing to parse as a
+    sample is called one — anything else raises, so corruption is reported
+    instead of being silently misfiled."""
+    try:
+        decode_samples([record])
+        return "samples"
+    except ValueError:  # CodecError or a truncated varint: not a sample
+        decode_prediction(record)  # corruption propagates from here
+        return "predictions"
+
+
 def _cmd_describe(args) -> int:
     """Operational tooling: inspect a DFS dataset (GraphFeature samples or
     prediction records) without loading a model."""
@@ -269,11 +286,13 @@ def _cmd_describe(args) -> int:
         print(f"dataset {args.dataset!r} not found; available: {fs.list_datasets()}",
               file=sys.stderr)
         return 1
-    records = list(fs.read_dataset(args.dataset))
+    # Only the inspected sample is materialized; the count comes from the
+    # O(num_shards) metadata instead of a full dataset scan.
+    records = list(itertools.islice(fs.read_dataset(args.dataset), args.sample))
     print(f"dataset:  {args.dataset}")
     print(f"layout:   {fs.layout(args.dataset)}")
     print(f"shards:   {fs.num_shards(args.dataset)}")
-    print(f"records:  {len(records)}")
+    print(f"records:  {fs.count_records(args.dataset)}")
     print(f"bytes:    {fs.size_bytes(args.dataset)}")
     # The PS topology a `graphtrainer` run over this dataset would use with
     # the same --dist-* flags (validates the combination up front).  With no
@@ -285,15 +304,17 @@ def _cmd_describe(args) -> int:
               "for a parameter-server run)")
     if not records:
         return 0
-    try:
-        samples = decode_samples(records[: args.sample])
-    except Exception:
-        from repro.core.infer.pipeline import decode_prediction
-
-        scores = [decode_prediction(r)[1] for r in records[: args.sample]]
+    # Dispatch on the recorded kind (metadata / columnar header) — decode
+    # errors below are real corruption and propagate, never a reason to
+    # reclassify the dataset.  Sniffing is reserved for legacy row datasets
+    # that predate kind metadata.
+    kind = fs.kind(args.dataset) or _sniff_kind(records[0])
+    if kind == "predictions":
+        scores = [decode_prediction(r)[1] for r in records]
         dims = {len(s) for s in scores}
         print(f"kind:     predictions (score dims {sorted(dims)})")
         return 0
+    samples = decode_samples(records)
     nodes = np.array([s.graph_feature.num_nodes for s in samples])
     edges = np.array([s.graph_feature.num_edges for s in samples])
     print("kind:     GraphFeature samples")
@@ -327,6 +348,7 @@ def _cmd_graphinfer(args) -> int:
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
         dataset_layout=args.dataset_layout,
+        slice_transport=args.slice_transport,
     )
     targets = None
     if args.targets:
@@ -337,7 +359,8 @@ def _cmd_graphinfer(args) -> int:
     )
     print(
         f"GraphInfer: scored {result.num_nodes} nodes "
-        f"({result.embedding_computations} embedding computations) -> "
+        f"({result.embedding_computations} embedding computations, "
+        f"{result.slice_transport} slice transport) -> "
         f"{args.dfs}/{args.output}"
     )
     _print_shuffle_summary(result.round_stats, args.shuffle_codec)
@@ -413,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset-layout", choices=DATASET_LAYOUTS, default="columnar",
         help="prediction shard layout: stacked columnar scores (default) or "
         "framed per-record rows",
+    )
+    infer.add_argument(
+        "--slice-transport", choices=SLICE_TRANSPORTS, default="auto",
+        help="how model slices reach reducers: 'shm' publishes them once "
+        "into a shared-memory slab (zero parameter bytes per task), "
+        "'pickle' embeds them in every pickled reducer; 'auto' picks shm "
+        "under the processes backend",
     )
     _add_common(infer)
     infer.set_defaults(func=_cmd_graphinfer)

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
-from repro.core.infer.segmentation import ModelSlice, segment_model
+from repro.core.infer.segmentation import ModelSlice, broadcast_slices, segment_model
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
@@ -39,9 +39,12 @@ from repro.proto.framing import (
 )
 from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
 
+SLICE_TRANSPORTS = ("auto", "shm", "pickle")
+
 __all__ = [
     "EmbeddingReducer",
     "GraphInferConfig",
+    "SLICE_TRANSPORTS",
     "GraphInferResult",
     "InferPartialReducer",
     "InferPrepareReducer",
@@ -130,10 +133,23 @@ class GraphInferConfig:
     ``node_ids`` + score matrix per shard — the default) or ``row`` (framed
     per-record byte strings).  ``read_dataset`` yields byte-identical
     records either way."""
+    slice_transport: str = "auto"
+    """How model slices reach the reducers: ``shm`` publishes every slice
+    once into a shared-memory slab (:class:`~repro.ps.shm.SlabBroadcast`)
+    and ships only locators — zero serialized parameter bytes per task
+    attempt; ``pickle`` embeds the parameter arrays in each pickled
+    reducer (the pre-slab behavior, kept as the in-process fallback);
+    ``auto`` (default) picks ``shm`` under the ``processes`` backend and
+    ``pickle`` otherwise.  Scores are byte-identical either way (tested)."""
 
     def __post_init__(self):
         if self.dataset_layout not in DATASET_LAYOUTS:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
+        if self.slice_transport not in SLICE_TRANSPORTS:
+            raise ValueError(
+                f"slice_transport must be one of {SLICE_TRANSPORTS}, "
+                f"got {self.slice_transport!r}"
+            )
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -155,6 +171,17 @@ class GraphInferResult:
     embedding_computations: int = 0
     """Total per-node layer evaluations — exactly ``K * |V|`` here; the
     original module's count grows with neighborhood overlap instead."""
+    slice_transport: str = "pickle"
+    """The resolved transport this run shipped model slices with
+    (``auto`` never appears here)."""
+
+
+def _detect_hubs(edges: EdgeTable, hub_threshold: int) -> frozenset[int]:
+    """In-degree hub detection identical to GraphFlat's, vectorized: one
+    unique+count pass over the dst column instead of a per-edge dict loop
+    (equality with the loop is reference-tested)."""
+    uniq, counts = np.unique(np.asarray(edges.dst, dtype=np.int64), return_counts=True)
+    return frozenset(int(v) for v in uniq[counts > hub_threshold])
 
 
 def _distance_to_targets(
@@ -165,16 +192,31 @@ def _distance_to_targets(
     BFS from the targets along edges *backwards* (an edge ``u -> v`` means
     u's embedding feeds v), i.e. the same distance GraphTrainer's pruning
     uses (§3.3.2) lifted to the inference pipeline.
+
+    The reverse adjacency is built with one stable argsort over ``dst``
+    instead of a per-edge dict-append loop: in-neighbors of ``v`` are a
+    contiguous run of the src column.  The BFS itself visits nodes in the
+    same hop order, so the returned distances are identical.
     """
-    in_neighbors: dict[int, list[int]] = {}
-    for s, d in zip(edges.src.tolist(), edges.dst.tolist()):
-        in_neighbors.setdefault(d, []).append(s)
+    src = np.asarray(edges.src, dtype=np.int64)
+    dst = np.asarray(edges.dst, dtype=np.int64)
+    order = np.argsort(dst, kind="stable")
+    sorted_src = src[order]
+    sorted_dst = dst[order]
+    uniq, starts = np.unique(sorted_dst, return_index=True)
+    ends = np.append(starts[1:], len(sorted_dst))
+    spans = {
+        int(v): (int(lo), int(hi)) for v, lo, hi in zip(uniq, starts, ends)
+    }
     dist = {t: 0 for t in target_set}
     frontier = list(target_set)
     for hop in range(1, max_hops + 1):
         nxt: list[int] = []
         for v in frontier:
-            for u in in_neighbors.get(v, ()):
+            span = spans.get(v)
+            if span is None:
+                continue
+            for u in sorted_src[span[0] : span[1]].tolist():
                 if u not in dist:
                     dist[u] = hop
                     nxt.append(u)
@@ -235,6 +277,38 @@ def _graph_infer(
     edges = edges.coalesce()  # must match GraphFlat's canonical adjacency
 
     slices = segment_model(model)
+    transport = config.slice_transport
+    if transport == "auto":
+        transport = "shm" if runtime.backend == "processes" else "pickle"
+    broadcast = None
+    if transport == "shm":
+        # Publish every slice's parameters into one named slab, once per
+        # run; reducers then pickle only locators.  The slab is unlinked in
+        # the finally below — the single ownership point, which also covers
+        # failed rounds and mid-round worker crashes (retries re-attach the
+        # same slab; nothing is republished per attempt).
+        broadcast, slices = broadcast_slices(slices)
+    try:
+        return _graph_infer_rounds(
+            nodes, edges, config, runtime, fs, dataset_name, targets,
+            slices, transport,
+        )
+    finally:
+        if broadcast is not None:
+            broadcast.close()
+
+
+def _graph_infer_rounds(
+    nodes: NodeTable,
+    edges: EdgeTable,
+    config: GraphInferConfig,
+    runtime: LocalRuntime,
+    fs: DistFileSystem | None,
+    dataset_name: str,
+    targets,
+    slices: list[ModelSlice],
+    transport: str,
+) -> GraphInferResult:
     gnn_slices, head_slice = slices[:-1], slices[-1]
     sampler = make_sampler(config.sampling, config.max_neighbors, config.seed)
 
@@ -249,11 +323,7 @@ def _graph_infer(
             )
         distance = _distance_to_targets(edges, target_set, len(gnn_slices))
 
-    # Hub detection identical to GraphFlat: in-degree over the edge table.
-    in_deg: dict[int, int] = {}
-    for dst in edges.dst:
-        in_deg[int(dst)] = in_deg.get(int(dst), 0) + 1
-    hubs = frozenset(v for v, d in in_deg.items() if d > config.hub_threshold)
+    hubs = _detect_hubs(edges, config.hub_threshold)
     reindex_active = bool(hubs)
 
     # ---- Map: self embedding h^(0) = x, out-edges, propagate h^(0) --------
@@ -315,6 +385,7 @@ def _graph_infer(
         num_nodes=len(data),
         round_stats=stats,
         embedding_computations=embedding_computations,
+        slice_transport=transport,
     )
     if fs is not None:
         if config.dataset_layout == "columnar":
@@ -330,6 +401,7 @@ def _graph_infer(
                 dataset_name,
                 (encode_prediction(v, s) for v, s in data),
                 num_shards=config.num_shards,
+                kind="predictions",
             )
         result.dataset = dataset_name
     else:
@@ -424,7 +496,10 @@ class InferPartialReducer:
 class EmbeddingReducer:
     """One GNN layer's Reduce round.  Ships the picklable :class:`ModelSlice`
     and materializes the runnable layer lazily, once per process — exactly
-    the production "each reducer loads its model slice" behavior (§3.4)."""
+    the production "each reducer loads its model slice" behavior (§3.4).
+    With ``slice_transport="shm"`` the slice is locator-backed, so the
+    pickled reducer carries no parameter arrays at all; materialization
+    attaches the broadcast slab instead."""
 
     mslice: ModelSlice
     sampler: SamplingStrategy

@@ -18,9 +18,11 @@ Reading is layout-transparent: :meth:`DistFileSystem.read_dataset` and
 :meth:`~DistFileSystem.read_shard` always yield row wire records (columnar
 shards re-encode on the fly, byte-identically), while
 :meth:`~DistFileSystem.open_shard` exposes the zero-copy columnar reader.
-A ``_META.json`` per dataset records the layout and per-shard record counts,
-which is what makes :meth:`~DistFileSystem.count_records` O(num_shards)
-instead of a full byte scan.
+A ``_META.json`` per dataset records the layout, the record ``kind``
+(samples / predictions), and per-shard record counts, which is what makes
+:meth:`~DistFileSystem.count_records` O(num_shards) instead of a full byte
+scan and lets tooling dispatch on :meth:`~DistFileSystem.kind` instead of
+sniffing record bytes.
 """
 
 from __future__ import annotations
@@ -107,9 +109,14 @@ class DistFileSystem:
                 counts.append(write_prediction_shard(path, bucket))
             else:
                 counts.append(write_sample_shard(path, bucket))
-        meta = {"layout": layout, "record_counts": counts, "total_records": count}
-        if layout == "columnar":
-            meta["kind"] = kind
+        # ``kind`` is recorded for every layout (row included) so consumers
+        # can dispatch on it instead of sniffing record bytes.
+        meta = {
+            "layout": layout,
+            "kind": kind,
+            "record_counts": counts,
+            "total_records": count,
+        }
         (directory / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
         return count
 
@@ -169,6 +176,32 @@ class DistFileSystem:
             self.shards(name)  # raise FileNotFoundError for absent datasets
             return "row"
         return meta["layout"]
+
+    def kind(self, name: str) -> str | None:
+        """Record kind of a dataset (``samples`` / ``predictions``).
+
+        Resolved from ``_META.json`` when recorded; columnar datasets
+        written before kinds landed in the metadata fall back to the shard
+        header (a corrupt header raises — corruption is never silently
+        re-labelled).  Returns ``None`` only for legacy row datasets with
+        nothing recorded anywhere, where callers may sniff record bytes.
+        """
+        meta = self._meta(name)
+        if meta is not None and "kind" in meta:
+            return meta["kind"]
+        shards = self.shards(name)  # raises for absent datasets
+        if not shards:
+            return None
+        if meta is not None and meta.get("layout") == "columnar":
+            return ColumnarShard(shards[0]).kind  # corruption raises
+        if meta is None:
+            # No metadata at all: a columnar shard still self-describes;
+            # anything that is not one is a legacy row shard.
+            try:
+                return ColumnarShard(shards[0]).kind
+            except CodecError:
+                return None
+        return None
 
     def exists(self, name: str) -> bool:
         return self._dataset_dir(name).is_dir()

@@ -30,6 +30,14 @@ class StateLayout:
     picklable, so worker processes can carry it — and every array it hands
     back from :meth:`unflatten` is a *view* into the given slab, which is
     what makes a pull a view refresh instead of a serialization pass.
+
+    The contract is not PS-specific: any state dict — a whole model, one
+    GraphInfer model slice, a raw ``named_parameters`` mapping — flattens
+    the same way, which is what lets ``repro.ps.shm.SlabBroadcast`` pack
+    several heterogeneous state dicts into one slab back to back.
+    :meth:`flatten` accepts plain arrays or ``Parameter``/``Tensor``
+    values, and ``out`` may be any float32 view of the right length (e.g.
+    a sub-range of a larger slab).
     """
 
     names: tuple[str, ...]
@@ -71,7 +79,8 @@ class StateLayout:
         if missing:
             raise KeyError(f"state dict missing parameters: {sorted(missing)}")
         for i, name in enumerate(self.names):
-            value = np.asarray(state[name], dtype=np.float32)
+            raw = state[name]
+            value = np.asarray(getattr(raw, "data", raw), dtype=np.float32)
             if value.shape != self.shapes[i]:
                 raise ValueError(
                     f"parameter {name!r}: shape {value.shape} != expected {self.shapes[i]}"

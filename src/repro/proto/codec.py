@@ -215,8 +215,15 @@ def encode_prediction(node_id: int, scores: np.ndarray) -> bytes:
 
 
 def decode_prediction(data: bytes) -> tuple[int, np.ndarray]:
-    """Inverse of :func:`encode_prediction`."""
+    """Inverse of :func:`encode_prediction`.  Strict: the record must hold
+    exactly the declared float block — truncated or trailing bytes raise
+    (kind-sniffing relies on corrupt records *not* parsing)."""
     node_id, offset = decode_signed(data, 0)
     length, offset = decode_unsigned(data, offset)
+    if offset + 4 * length != len(data):
+        raise CodecError(
+            f"prediction record declares {length} scores but has "
+            f"{len(data) - offset} payload bytes"
+        )
     scores = np.frombuffer(data[offset : offset + 4 * length], dtype="<f4").copy()
     return node_id, scores

@@ -17,16 +17,25 @@ The data plane is ``multiprocessing.shared_memory``:
   transport, so async/BSP/SSP semantics — and, for BSP, the exact float
   trajectory — are shared between transports.
 
-The control plane is a ``multiprocessing`` queue (worker → server messages:
-push / finish / dead) plus one ack semaphore per worker (server → worker),
-replacing the local transport's ``threading.Condition`` machinery.  All of
-it also works when "workers" are threads of the parent process, which is
-how the test suite exercises shm semantics without spawning.
+The control plane is a pipe-backed channel written synchronously under a
+write lock (worker → server messages: push / finish / dead — see
+:class:`_CtrlChannel` for why it is not a ``multiprocessing.Queue``) plus
+one ack semaphore per worker (server → worker), replacing the local
+transport's ``threading.Condition`` machinery.  All of it also works when
+"workers" are threads of the parent process, which is how the test suite
+exercises shm semantics without spawning.
 
 Memory-consistency note: the seqlock's double-read (version before and
 after the copy) is what guards against torn float reads; single-writer
 discipline (only the server thread ever touches the parameter slab after
 initialisation) does the rest.
+
+:class:`SlabBroadcast` is the same slab machinery reduced to its one-shot
+form: immutable content published once by the parent (so no seqlock), read
+through picklable :class:`SlabSlice` locators by any number of attaching
+processes.  GraphInfer uses it to ship model slices to reducers without a
+single serialized parameter byte per task (see
+``repro.core.infer.segmentation``).
 """
 
 from __future__ import annotations
@@ -36,13 +45,22 @@ import queue as queue_mod
 import threading
 import time
 import weakref
+from collections import deque
+from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.nn.module import StateLayout
 
-__all__ = ["ShmPSClient", "ShmTransport", "attach_shared_memory", "mp_context"]
+__all__ = [
+    "ShmPSClient",
+    "ShmTransport",
+    "SlabBroadcast",
+    "SlabSlice",
+    "attach_shared_memory",
+    "mp_context",
+]
 
 _HEADER_INT64S = 8
 _HEADER_BYTES = _HEADER_INT64S * 8
@@ -84,6 +102,182 @@ def attach_shared_memory(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = original
     except ImportError:
         return shared_memory.SharedMemory(name=name)
+
+
+# --------------------------------------------------------------- broadcasts
+# One-shot "publish once, attach everywhere" slabs.  Unlike the parameter
+# server above there is no version counter: the content is immutable for the
+# slab's whole lifetime, so readers need no seqlock — just the layout.
+
+_ATTACH_CACHE: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CACHE_MAX = 4
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_view(name: str, size: int, byte_offset: int) -> np.ndarray:
+    """Attach to a broadcast slab (cached per process) and return a float32
+    view into it.
+
+    The cache means a worker process that runs many tasks against the same
+    broadcast maps the slab once, not once per task.  Bounded FIFO: slabs
+    are per-run, so entries from finished runs age out.  Everything —
+    lookup, eviction, attach, *and* view construction — happens under one
+    lock hold: reducers on the threads backend materialize concurrently,
+    and building the ndarray exports the segment's buffer, which pins the
+    mapping against a concurrent eviction's ``close()``; a view built
+    outside the lock could race an eviction and read a closed segment."""
+    with _ATTACH_LOCK:
+        seg = _ATTACH_CACHE.get(name)
+        if seg is None:
+            # Evict oldest-first (dict insertion order).  A mapping whose
+            # views are still exported cannot be closed — re-queue it as
+            # most-recent and keep the handle instead of leaking an
+            # unclosable segment; the cache may transiently exceed the cap
+            # while everything is pinned.
+            for stale in list(_ATTACH_CACHE):
+                if len(_ATTACH_CACHE) < _ATTACH_CACHE_MAX:
+                    break
+                old = _ATTACH_CACHE.pop(stale)
+                try:
+                    old.close()
+                except BufferError:  # live views into the mapping
+                    _ATTACH_CACHE[stale] = old
+            seg = attach_shared_memory(name)
+            _ATTACH_CACHE[name] = seg
+        return np.ndarray(
+            (size,), dtype=np.float32, buffer=seg.buf, offset=byte_offset
+        )
+
+
+@dataclass(frozen=True)
+class SlabSlice:
+    """Picklable locator for one state dict inside a :class:`SlabBroadcast`.
+
+    This is what travels to worker processes instead of the parameter
+    arrays themselves: slab *name*, element offset, and the
+    :class:`~repro.nn.module.StateLayout` contract — a few hundred bytes
+    regardless of model size.  ``state()`` attaches lazily (cached per
+    process) and returns layout views into the mapping; callers that keep
+    the values past the slab's lifetime must copy them (loading them into a
+    module via ``load_state_dict`` does)."""
+
+    slab: str
+    index: int
+    offset: int
+    layout: StateLayout
+
+    def state(self) -> dict[str, np.ndarray]:
+        flat = _attach_view(self.slab, self.layout.total_size, 4 * self.offset)
+        return self.layout.unflatten(flat)
+
+    def num_values(self) -> int:
+        return self.layout.total_size
+
+
+class SlabBroadcast:
+    """Publish a sequence of state dicts into one named shared-memory slab.
+
+    The creating process is the sole owner: it flattens every state dict
+    through its :class:`~repro.nn.module.StateLayout` into a contiguous
+    float32 slab exactly once, hands out :class:`SlabSlice` locators, and
+    unlinks the slab in :meth:`close` (a ``weakref.finalize`` backstop
+    covers abandoned instances).  Attaching processes never adopt
+    ownership (:func:`attach_shared_memory`), so a worker exiting — or
+    crashing — cannot yank the slab out from under the survivors, and the
+    parent's ``finally`` is the single unlink point even when a round
+    fails mid-run."""
+
+    def __init__(self, states: list[dict[str, np.ndarray]]):
+        self.layouts = [StateLayout.from_state(state) for state in states]
+        offsets, total = [], 0
+        for layout in self.layouts:
+            offsets.append(total)
+            total += layout.total_size
+        self.offsets = offsets
+        self.total_size = total
+        self._seg = shared_memory.SharedMemory(create=True, size=max(4 * total, 1))
+        # Finalizer registered before the flatten loop: a state dict that
+        # fails to flatten must not leak the freshly created segment.
+        self.name = self._seg.name
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _release_segments, self._seg, [])
+        try:
+            flat = np.ndarray((total,), dtype=np.float32, buffer=self._seg.buf)
+            for layout, offset, state in zip(self.layouts, offsets, states):
+                layout.flatten(state, out=flat[offset : offset + layout.total_size])
+        except BaseException:
+            self.close()
+            raise
+
+    def __len__(self) -> int:
+        return len(self.layouts)
+
+    def slice(self, index: int) -> SlabSlice:
+        if not 0 <= index < len(self.layouts):
+            raise IndexError(f"broadcast holds {len(self.layouts)} slices")
+        return SlabSlice(self.name, index, self.offsets[index], self.layouts[index])
+
+    def close(self) -> None:
+        """Unlink the slab (idempotent).  Existing mappings in attached
+        processes stay valid until they unmap; no new attach can succeed."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "SlabBroadcast":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _CtrlChannel:
+    """Control-plane message channel: a raw pipe plus a write lock, written
+    *synchronously from the calling thread*.
+
+    This deliberately replaces ``multiprocessing.Queue``, whose ``put`` only
+    buffers and lets a per-process **feeder thread** acquire the shared
+    write lock and flush later.  A worker that hard-crashes (``os._exit``,
+    SIGKILL) right after being acked could die while its feeder still held
+    the lock — permanently deadlocking every other writer (surviving
+    workers' pushes, the parent's ``mark_dead``), which is precisely the
+    crash window the dead-worker tests probe.  With the synchronous write,
+    the lock is provably released before ``push()`` starts waiting for its
+    ack, so a worker can only ever die *between* messages.  (No feeder
+    thread also means nothing to ``join_thread`` at close.)"""
+
+    def __init__(self, ctx):
+        self._reader, self._writer = ctx.Pipe(duplex=False)
+        self._wlock = ctx.Lock()
+
+    def put(self, msg, timeout: float | None = None) -> None:
+        """Send a message; with ``timeout``, bound the wait for the write
+        lock.  A process SIGKILLed *mid-send* still orphans the lock (the
+        irreducible residue of a shared-pipe design) — the timeout turns
+        that from a silent permanent hang of every surviving writer into a
+        loud bounded-time failure, and the parent's recovery/control
+        messages bypass this channel entirely (see ``ShmTransport``)."""
+        if not self._wlock.acquire(timeout=timeout):
+            raise RuntimeError(
+                f"control-channel write lock not acquired within {timeout:.0f}s "
+                "(held by a crashed process?)"
+            )
+        try:
+            self._writer.send(msg)
+        finally:
+            self._wlock.release()
+
+    def get(self, timeout: float):
+        """Single reader: the server thread.  Raises ``queue.Empty`` on
+        timeout to keep the server loop's contract."""
+        if self._reader.poll(timeout):
+            return self._reader.recv()
+        raise queue_mod.Empty
+
+    def close(self) -> None:
+        self._reader.close()
+        self._writer.close()
 
 
 class _SeqlockWrite:
@@ -195,7 +389,7 @@ class ShmPSClient:
         unknown = grads.keys() - slab_views.keys()
         if unknown:
             raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
-        self._ctrl.put(("push", self.worker_id, tuple(missing)))
+        self._ctrl.put(("push", self.worker_id, tuple(missing)), timeout=_ACK_TIMEOUT_S)
         self._await_ack()
 
     def _await_ack(self) -> None:
@@ -218,7 +412,7 @@ class ShmPSClient:
         ``begin_epoch`` barrier reset (messages from different processes
         have no cross-queue ordering guarantee otherwise).
         """
-        self._ctrl.put(("finish", self.worker_id, None))
+        self._ctrl.put(("finish", self.worker_id, None), timeout=_ACK_TIMEOUT_S)
         self._await_ack()
 
     def stats(self) -> dict[str, int]:
@@ -252,7 +446,12 @@ class ShmTransport:
         self._grad_views = [
             np.ndarray((size,), dtype=np.float32, buffer=seg.buf) for seg in self._grad_segs
         ]
-        self._ctrl = self.ctx.Queue()
+        self._ctrl = _CtrlChannel(self.ctx)
+        # Parent -> server-thread control messages (begin_epoch, mark_dead,
+        # stop) skip the cross-process channel: they stay in-process on a
+        # thread-safe deque, so the *recovery* path (excusing a dead worker)
+        # can never block on a lock a crashed worker orphaned.
+        self._local_ctrl: deque = deque()
         self._acks = [self.ctx.Semaphore(0) for _ in range(group.num_workers)]
         self._clients: dict[int, ShmPSClient] = {}
         self._epoch_armed = threading.Event()  # server-side begin_epoch ack
@@ -329,7 +528,7 @@ class ShmTransport:
         server thread has processed the reset, so every worker's (ack'd)
         end-of-epoch drain is ordered strictly before it."""
         self._epoch_armed.clear()
-        self._ctrl.put(("begin_epoch", -1, None))
+        self._local_ctrl.append(("begin_epoch", -1, None))
         if not self._epoch_armed.wait(timeout=_ACK_TIMEOUT_S):
             raise RuntimeError("parameter-server thread did not re-arm the epoch")
 
@@ -338,8 +537,9 @@ class ShmTransport:
 
     def mark_dead(self, worker_id: int) -> None:
         """A worker process died without draining — excuse it from every
-        barrier so the survivors never deadlock."""
-        self._ctrl.put(("dead", worker_id, None))
+        barrier so the survivors never deadlock.  Delivered in-process so
+        it works even when the corpse orphaned the channel's write lock."""
+        self._local_ctrl.append(("dead", worker_id, None))
 
     # ------------------------------------------------------------ the server
     def _serve(self) -> None:
@@ -388,10 +588,13 @@ class ShmTransport:
 
         try:
             while True:
-                try:
-                    kind, w, payload = self._ctrl.get(timeout=_POLL_S)
-                except queue_mod.Empty:
-                    continue
+                if self._local_ctrl:
+                    kind, w, payload = self._local_ctrl.popleft()
+                else:
+                    try:
+                        kind, w, payload = self._ctrl.get(timeout=_POLL_S)
+                    except queue_mod.Empty:
+                        continue
                 if kind == "stop":
                     break
                 if kind == "begin_epoch":
@@ -439,17 +642,22 @@ class ShmTransport:
             return
         self._closed = True
         if self._thread is not None and self._thread.is_alive():
-            self._ctrl.put(("stop", -1, None))
+            self._local_ctrl.append(("stop", -1, None))
             self._thread.join(timeout=10)
         self._ctrl.close()
-        self._ctrl.join_thread()
         self._finalizer()
 
 
 def _release_segments(param_seg, grad_segs) -> None:
+    # close and unlink attempted independently: a still-exported buffer
+    # (BufferError on close) must not stop the name being unlinked — the
+    # lingering mapping then dies with its last reference, not /dev/shm.
     for seg in [param_seg, *grad_segs]:
         try:
             seg.close()
+        except Exception:  # pragma: no cover - exported views / already closed
+            pass
+        try:
             seg.unlink()
-        except Exception:  # pragma: no cover - already released
+        except Exception:  # pragma: no cover - already unlinked
             pass

@@ -177,3 +177,98 @@ class TestDescribe:
     def test_describe_missing_dataset(self, tmp_path, capsys):
         rc = main(["describe", "nope", "--dfs", str(tmp_path / "dfs")])
         assert rc == 1
+
+    @pytest.fixture()
+    def inferred(self, workspace, capsys):
+        """A trained model plus prediction datasets in both layouts."""
+        tmp_path, ds = workspace
+        dfs = str(tmp_path / "dfs")
+        main([
+            "graphflat",
+            "-n", str(tmp_path / "nodes.tsv"), "-e", str(tmp_path / "edges.tsv"),
+            "--targets", str(tmp_path / "targets.txt"),
+            "--output", "flat/train", "--dfs", dfs, "--workers", "1",
+        ])
+        main([
+            "graphtrainer", "-m", "gcn", "-i", "flat/train",
+            "--model-out", str(tmp_path / "model.pkl"),
+            "--epochs", "1", "--hidden", "8", "--dfs", dfs,
+        ])
+        for layout in ("columnar", "row"):
+            main([
+                "graphinfer", "-m", str(tmp_path / "model.pkl"),
+                "-n", str(tmp_path / "nodes.tsv"), "-e", str(tmp_path / "edges.tsv"),
+                "--max-neighbors", "20", "--output", f"scores/{layout}",
+                "--dfs", dfs, "--workers", "1", "--dataset-layout", layout,
+            ])
+        capsys.readouterr()
+        return tmp_path, dfs
+
+    @pytest.mark.parametrize("layout", ["columnar", "row"])
+    def test_describe_predictions_dispatches_on_metadata(self, inferred, capsys, layout):
+        """Prediction datasets are recognised from the recorded kind in both
+        layouts — no decode-and-see sniffing involved."""
+        _, dfs = inferred
+        rc = main(["describe", f"scores/{layout}", "--dfs", dfs])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kind:     predictions" in out
+
+    def test_describe_legacy_row_predictions_sniffed(self, inferred, capsys):
+        """A row dataset with no _META.json (pre-metadata era) still gets
+        classified — by wire format, the only option left."""
+        tmp_path, dfs = inferred
+        (tmp_path / "dfs" / "scores/row" / "_META.json").unlink()
+        rc = main(["describe", "scores/row", "--dfs", dfs])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "kind:     predictions" in out
+
+    def test_describe_corrupt_shard_raises(self, inferred, capsys):
+        """Regression: a corrupt sample dataset used to be silently
+        misreported as predictions (the broad except around decode_samples);
+        now the decode error surfaces."""
+        from repro.proto.codec import CodecError
+
+        tmp_path, dfs = inferred
+        shard = sorted((tmp_path / "dfs" / "flat/train").glob("part-*"))[0]
+        raw = bytearray(shard.read_bytes())
+        raw[50:58] = b"\xff" * 8
+        shard.write_bytes(bytes(raw))
+        with pytest.raises(CodecError):
+            main(["describe", "flat/train", "--dfs", dfs])
+
+    def test_describe_corrupt_legacy_row_raises(self, inferred, capsys):
+        """Sniffing a legacy (meta-less) row dataset must not misfile a
+        corrupt sample record as predictions: decode_prediction is strict
+        about the payload length, so garbage raises instead."""
+        from repro.proto.codec import CodecError
+
+        tmp_path, dfs = inferred
+        fs = DistFileSystem(dfs)
+        # rebuild flat/train as a legacy row dataset with a truncated
+        # (corrupt) first record and no metadata
+        records = list(fs.read_dataset("flat/train"))
+        records[0] = records[0][:-3]
+        fs.write_dataset("flat/legacy", records, num_shards=1)
+        (tmp_path / "dfs" / "flat/legacy" / "_META.json").unlink()
+        with pytest.raises(CodecError):
+            main(["describe", "flat/legacy", "--dfs", dfs])
+
+    def test_graphinfer_slice_transport_flag(self, inferred, capsys):
+        """--slice-transport shm works from the CLI (even single-process)
+        and the resolved transport is reported."""
+        tmp_path, dfs = inferred
+        rc = main([
+            "graphinfer", "-m", str(tmp_path / "model.pkl"),
+            "-n", str(tmp_path / "nodes.tsv"), "-e", str(tmp_path / "edges.tsv"),
+            "--max-neighbors", "20", "--output", "scores/shm",
+            "--dfs", dfs, "--workers", "1", "--slice-transport", "shm",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "shm slice transport" in out
+        fs = DistFileSystem(dfs)
+        assert list(fs.read_dataset("scores/shm")) == list(
+            fs.read_dataset("scores/columnar")
+        )

@@ -131,6 +131,24 @@ class TestFilesystemLayouts:
         with pytest.raises(ValueError):
             DistFileSystem(tmp_path).write_dataset("x", [], layout="diagonal")
 
+    def test_kind_recorded_for_every_layout(self, tmp_path, flat_cora):
+        fs = DistFileSystem(tmp_path)
+        fs.write_dataset("row", flat_cora, num_shards=2)
+        fs.write_dataset(
+            "col", [decode_sample(r) for r in flat_cora], num_shards=2,
+            layout="columnar",
+        )
+        assert fs.kind("row") == "samples"
+        assert fs.kind("col") == "samples"
+        # columnar datasets survive metadata loss via the shard header;
+        # legacy row datasets genuinely have nothing recorded
+        for name in ("row", "col"):
+            (tmp_path / name / "_META.json").unlink()
+        assert fs.kind("col") == "samples"
+        assert fs.kind("row") is None
+        with pytest.raises(FileNotFoundError):
+            fs.kind("absent")
+
 
 class TestGraphFlatLayouts:
     def test_dfs_outputs_byte_identical_across_layouts(self, mini_cora, tmp_path):

@@ -1,15 +1,25 @@
 """GraphInfer: segmentation contract, equivalence with batched forward
 ("unbiased inference"), sampling consistency, hub handling, DFS output,
-fault tolerance, and the no-repetition cost claim."""
+fault tolerance, the no-repetition cost claim, and the slice-transport
+matrix (shm broadcast vs pickled slices, across backends and codecs)."""
+
+import os
+import pickle
 
 import numpy as np
 import pytest
 
 from repro.baselines import OriginalInference
 from repro.core.graphflat import GraphFlatConfig, graph_flat
-from repro.core.infer import GraphInferConfig, graph_infer, segment_model
-from repro.core.infer.pipeline import decode_prediction
+from repro.core.infer import (
+    GraphInferConfig,
+    broadcast_slices,
+    graph_infer,
+    segment_model,
+)
 from repro.mapreduce import DistFileSystem, FailureInjector, LocalRuntime
+from repro.proto.codec import decode_prediction
+from repro.mapreduce.job import JobFailedError
 from repro.nn import Tensor, no_grad
 from repro.nn.gnn import BatchInputs, EdgeBlock, GATModel, GCNModel, GraphSAGEModel
 
@@ -19,6 +29,16 @@ def mini_cora():
     from repro.datasets import cora_like
 
     return cora_like(seed=7, num_nodes=250, num_edges=700)
+
+
+@pytest.fixture(scope="module")
+def hub_graph():
+    """~120-node graph with two genuine hubs so re-indexing is active."""
+    from repro.datasets import uug_like
+
+    return uug_like(
+        seed=5, num_nodes=120, avg_degree=4, feature_dim=6, num_hubs=2, hub_degree=30
+    )
 
 
 def full_forward(model, ds):
@@ -216,3 +236,207 @@ class TestOutput:
         ref = graph_infer(model, ds.nodes, ds.edges).scores
         probe = list(decoded)[0]
         np.testing.assert_allclose(decoded[probe], ref[probe], rtol=1e-6)
+
+
+def _ref_distance_to_targets(edges, target_set, max_hops):
+    """The pre-vectorization dict-loop adjacency build, kept as the
+    reference the argsort version must reproduce exactly."""
+    in_neighbors = {}
+    for s, d in zip(edges.src.tolist(), edges.dst.tolist()):
+        in_neighbors.setdefault(d, []).append(s)
+    dist = {t: 0 for t in target_set}
+    frontier = list(target_set)
+    for hop in range(1, max_hops + 1):
+        nxt = []
+        for v in frontier:
+            for u in in_neighbors.get(v, ()):
+                if u not in dist:
+                    dist[u] = hop
+                    nxt.append(u)
+        if not nxt:
+            break
+        frontier = nxt
+    return dist
+
+
+class TestVectorizedGraphPrep:
+    def test_distance_matches_dict_loop_reference(self, hub_graph):
+        from repro.core.infer.pipeline import _distance_to_targets
+
+        edges = hub_graph.edges.coalesce()
+        targets = {int(t) for t in hub_graph.val_ids[:15]}
+        for hops in (1, 2, 3):
+            assert _distance_to_targets(edges, targets, hops) == \
+                _ref_distance_to_targets(edges, targets, hops)
+
+    def test_hub_set_matches_dict_loop_reference(self, hub_graph):
+        from repro.core.infer.pipeline import _detect_hubs
+
+        edges = hub_graph.edges.coalesce()
+        in_deg = {}
+        for dst in edges.dst:
+            in_deg[int(dst)] = in_deg.get(int(dst), 0) + 1
+        for threshold in (8, 20, 10**9):
+            expected = frozenset(v for v, d in in_deg.items() if d > threshold)
+            assert _detect_hubs(edges, threshold) == expected
+
+
+def _shm_entries():
+    return frozenset(os.listdir("/dev/shm"))
+
+
+def _infer_config(**overrides):
+    base = dict(max_neighbors=4, hub_threshold=8, num_reducers=4, seed=0)
+    base.update(overrides)
+    return GraphInferConfig(**base)
+
+
+class TestSliceTransportMatrix:
+    """The tentpole acceptance bar: the shm model-slice broadcast must be
+    byte-identical to the pickled-slice path across backends x shuffle
+    codecs — with hub re-indexing active — ship zero parameter bytes inside
+    pickled reducers, and never leak a slab."""
+
+    @pytest.fixture(scope="class")
+    def scored(self, hub_graph):
+        ds = hub_graph
+        model = GCNModel(6, 8, 2, num_layers=2, seed=0)
+        serial = graph_infer(
+            model, ds.nodes, ds.edges, _infer_config(slice_transport="pickle")
+        )
+        assert serial.slice_transport == "pickle"
+        return ds, model, serial.scores
+
+    @pytest.mark.parametrize(
+        "backend,workers,codec,transport",
+        [
+            ("serial", None, "binary", "shm"),
+            ("threads", 2, "binary", "shm"),
+            ("threads", 2, "pickle", "shm"),
+            ("processes", 2, "pickle", "pickle"),
+            ("processes", 2, "binary", "pickle"),
+            ("processes", 2, "pickle", "shm"),
+            ("processes", 2, "binary", "shm"),
+        ],
+    )
+    def test_matrix_byte_identical(self, scored, backend, workers, codec, transport):
+        ds, model, baseline = scored
+        with LocalRuntime(
+            backend=backend, max_workers=workers, shuffle_codec=codec
+        ) as runtime:
+            result = graph_infer(
+                model, ds.nodes, ds.edges,
+                _infer_config(slice_transport=transport), runtime,
+            )
+        assert result.slice_transport == transport
+        assert set(result.scores) == set(baseline)
+        for node_id, scores in baseline.items():
+            assert np.array_equal(result.scores[node_id], scores)
+
+    def test_auto_resolution(self, scored):
+        ds, model, _ = scored
+        serial = graph_infer(model, ds.nodes, ds.edges, _infer_config())
+        assert serial.slice_transport == "pickle"
+        with LocalRuntime(backend="processes", max_workers=2) as runtime:
+            procs = graph_infer(model, ds.nodes, ds.edges, _infer_config(), runtime)
+        assert procs.slice_transport == "shm"
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError):
+            GraphInferConfig(slice_transport="carrier-pigeon")
+
+    def test_targeted_inference_under_shm_processes(self, scored):
+        ds, model, baseline = scored
+        targets = ds.val_ids[:10]
+        with LocalRuntime(backend="processes", max_workers=2) as runtime:
+            subset = graph_infer(
+                model, ds.nodes, ds.edges,
+                _infer_config(slice_transport="shm"), runtime, targets=targets,
+            )
+        assert set(subset.scores) == {int(t) for t in targets}
+        for t in targets:
+            np.testing.assert_allclose(
+                subset.scores[int(t)], baseline[int(t)], rtol=1e-5
+            )
+
+    def test_locator_reducers_carry_no_parameter_arrays(self):
+        """A pickled shm-mode reducer is a few hundred bytes no matter the
+        model size — the parameters live in the slab, not the pickle."""
+        from repro.core.infer.pipeline import EmbeddingReducer, ReceptiveField
+        from repro.core.graphflat.sampling import make_sampler
+
+        model = GCNModel(64, 256, 8, num_layers=2, seed=0)
+        slices = segment_model(model)
+        param_bytes = 4 * slices[0].num_parameters()
+        broadcast, located = broadcast_slices(slices)
+        try:
+            sampler = make_sampler("uniform", 10, 0)
+            needed = ReceptiveField(None, 2)
+
+            def reducer(mslice):
+                return EmbeddingReducer(
+                    mslice, sampler, 1, 2, frozenset(), 8, False, needed
+                )
+
+            fat = pickle.dumps(reducer(slices[0]))
+            thin = pickle.dumps(reducer(located[0]))
+            assert len(fat) > param_bytes  # pickled path ships the arrays
+            assert len(thin) < param_bytes / 10  # locator path ships none
+            clone = pickle.loads(thin)
+            assert clone.mslice.state is None
+            layer = clone.mslice.materialize()
+            for name, value in slices[0].state.items():
+                np.testing.assert_array_equal(
+                    dict(layer.named_parameters())[name].data, value
+                )
+        finally:
+            broadcast.close()
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+    def test_slabs_unlinked_after_run(self, scored):
+        ds, model, baseline = scored
+        before = _shm_entries()
+        with LocalRuntime(backend="processes", max_workers=2) as runtime:
+            result = graph_infer(
+                model, ds.nodes, ds.edges, _infer_config(slice_transport="shm"),
+                runtime,
+            )
+        assert result.slice_transport == "shm"
+        assert _shm_entries() - before == frozenset()
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+    def test_slabs_unlinked_despite_worker_crashes(self, scored):
+        """Mid-round task crashes: retries re-attach the same slab, output
+        is unchanged, and the slab is still unlinked at the end."""
+        ds, model, baseline = scored
+        before = _shm_entries()
+        injector = FailureInjector(rate=0.2, seed=17)
+        with LocalRuntime(
+            backend="processes", max_workers=2, max_attempts=10,
+            failure_injector=injector,
+        ) as runtime:
+            result = graph_infer(
+                model, ds.nodes, ds.edges, _infer_config(slice_transport="shm"),
+                runtime,
+            )
+        assert injector.injected > 0
+        for node_id, scores in baseline.items():
+            assert np.array_equal(result.scores[node_id], scores)
+        assert _shm_entries() - before == frozenset()
+
+    @pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="needs /dev/shm")
+    def test_slabs_unlinked_when_job_fails(self, scored):
+        """Even a run that dies mid-round (all attempts exhausted) must not
+        leak its slab — the unlink lives in the pipeline's finally."""
+        ds, model, _ = scored
+        before = _shm_entries()
+        with LocalRuntime(
+            backend="processes", max_workers=2, max_attempts=1,
+            failure_injector=FailureInjector(rate=1.0, seed=3),
+        ) as runtime:
+            with pytest.raises(JobFailedError):
+                graph_infer(
+                    model, ds.nodes, ds.edges,
+                    _infer_config(slice_transport="shm"), runtime,
+                )
+        assert _shm_entries() - before == frozenset()
