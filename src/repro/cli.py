@@ -21,6 +21,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.graphflat import SAMPLING_REGISTRY, GraphFlatConfig, graph_flat
+from repro.core.graphflat.pipeline import DATASET_SINKS
 from repro.core.infer import GraphInferConfig, graph_infer
 from repro.core.trainer import (
     GraphTrainer,
@@ -153,13 +154,20 @@ def _print_shuffle_summary(round_stats, codec: str) -> None:
     running the benchmark suite."""
     records = sum(rs.shuffled_records for rs in round_stats)
     spilled = sum(rs.shuffle_bytes_written for rs in round_stats)
+    combined = sum(rs.combined_records for rs in round_stats)
+    peak = max((rs.peak_reducer_buffer_bytes for rs in round_stats), default=0)
+    detail = f", {combined} map-combined" if combined else ""
     if spilled:
         print(
             f"shuffle: {records} records, {spilled / 2**20:.2f} MiB spilled "
-            f"({codec} codec, {len(round_stats)} rounds)"
+            f"({codec} codec, {len(round_stats)} rounds{detail}, "
+            f"peak reducer buffer {peak / 2**20:.2f} MiB)"
         )
     else:
-        print(f"shuffle: {records} records (in-memory, {len(round_stats)} rounds)")
+        print(
+            f"shuffle: {records} records (in-memory, {len(round_stats)} "
+            f"rounds{detail})"
+        )
 
 
 def _cmd_graphflat(args) -> int:
@@ -180,6 +188,7 @@ def _cmd_graphflat(args) -> int:
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
         dataset_layout=args.dataset_layout,
+        dataset_sink=args.dataset_sink,
     )
     fs = DistFileSystem(args.dfs)
     # The config owns the runtime (graph_flat builds and closes it).
@@ -226,6 +235,8 @@ def _cmd_graphtrainer(args) -> int:
         task=task, seed=args.seed,
         prefetch_backend=args.prefetch_backend,
         prefetch_workers=args.prefetch_workers,
+        prefetch_transport=args.prefetch_transport,
+        prefetch_slab_bytes=args.prefetch_slab_mb << 20,
     )
     if args.dist_workers >= 1:
         import functools
@@ -348,6 +359,7 @@ def _cmd_graphinfer(args) -> int:
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
         dataset_layout=args.dataset_layout,
+        dataset_sink=args.dataset_sink,
         slice_transport=args.slice_transport,
     )
     targets = None
@@ -390,6 +402,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="output shard layout: mmap-able columnar matrices (default) or "
         "framed per-sample row records",
     )
+    flat.add_argument(
+        "--dataset-sink", choices=DATASET_SINKS, default="auto",
+        help="who writes the output shards: 'reducer' streams each final "
+        "partition straight to its own columnar shard (constant parent "
+        "memory), 'parent' collects and re-shards centrally; 'auto' picks "
+        "reducer for columnar output",
+    )
     _add_common(flat)
     flat.set_defaults(func=_cmd_graphflat)
 
@@ -415,6 +434,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="preprocessing pool backend; 'processes' shards preprocessing "
         "across cores while the main process trains",
     )
+    train.add_argument(
+        "--prefetch-transport", choices=["auto", "shm", "pickle"], default="auto",
+        help="how prepared batches return from prefetch workers: shared-"
+        "memory slabs (protocol-5 out-of-band buffers; kilobytes on the "
+        "result pipe) or whole-batch pickles; 'auto' picks shm for the "
+        "processes backend",
+    )
+    train.add_argument(
+        "--prefetch-slab-mb", type=int, default=64,
+        help="per-slot shm slab capacity in MiB; oversized batches fall "
+        "back to the pickle pipe",
+    )
     _add_common(train)
     _add_dist(train)
     train.set_defaults(func=_cmd_graphtrainer)
@@ -436,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset-layout", choices=DATASET_LAYOUTS, default="columnar",
         help="prediction shard layout: stacked columnar scores (default) or "
         "framed per-record rows",
+    )
+    infer.add_argument(
+        "--dataset-sink", choices=DATASET_SINKS, default="auto",
+        help="who writes the prediction shards: 'reducer' streams each "
+        "final partition straight to its own shard, 'parent' collects and "
+        "re-shards centrally; 'auto' picks reducer for columnar output",
     )
     infer.add_argument(
         "--slice-transport", choices=SLICE_TRANSPORTS, default="auto",

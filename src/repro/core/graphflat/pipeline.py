@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -39,18 +40,24 @@ from repro.graph.subgraph import GraphFeature
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
-from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.job import MapReduceJob, SumCombiner
 from repro.mapreduce.runtime import LocalRuntime, RunStats
+from repro.mapreduce.spill import DEFAULT_RUN_BYTES, DEFAULT_RUN_RECORDS
 from repro.proto.codec import encode_sample
+from repro.proto.columnar import write_sample_shard
 
 __all__ = [
+    "DATASET_SINKS",
     "GraphFlatConfig",
     "GraphFlatResult",
     "MergeReducer",
     "PartialReducer",
     "PrepareReducer",
+    "SampleShardSink",
     "graph_flat",
 ]
+
+DATASET_SINKS = ("auto", "parent", "reducer")
 
 
 @dataclass
@@ -86,6 +93,20 @@ class GraphFlatConfig:
     per-sample re-framing pass) or ``row`` (framed per-sample byte strings,
     the compatibility fallback).  ``read_dataset`` yields byte-identical
     records either way."""
+    dataset_sink: str = "auto"
+    """Who writes the output shards.  ``reducer``: each final-round reducer
+    writes its own columnar shard directly into the DFS — the sample
+    triples never funnel through the parent process, and shard count equals
+    ``num_reducers`` (``num_shards`` is ignored).  ``parent``: the classic
+    collect-then-write path (``num_shards`` shards).  ``auto`` (default)
+    picks ``reducer`` whenever a DFS is given with columnar layout.  The
+    global record stream (``read_dataset``) is byte-identical either way —
+    only shard boundaries differ."""
+    spill_run_records: int = DEFAULT_RUN_RECORDS
+    """External-sort run bound: records buffered per spill writer before a
+    sorted run is flushed (see ``repro.mapreduce.spill.SpillRunWriter``)."""
+    spill_run_bytes: int = DEFAULT_RUN_BYTES
+    """External-sort run bound in encoded bytes (binary codec only)."""
 
     def __post_init__(self):
         if self.hops < 1:
@@ -94,6 +115,8 @@ class GraphFlatConfig:
             raise ValueError("reindex_fanout must be >= 2")
         if self.dataset_layout not in DATASET_LAYOUTS:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
+        if self.dataset_sink not in DATASET_SINKS:
+            raise ValueError(f"dataset_sink must be one of {DATASET_SINKS}")
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -101,6 +124,8 @@ class GraphFlatConfig:
             max_workers=self.num_workers,
             spill_dir=self.spill_dir,
             shuffle_codec=self.shuffle_codec,
+            spill_run_records=self.spill_run_records,
+            spill_run_bytes=self.spill_run_bytes,
         )
 
 
@@ -149,12 +174,17 @@ def _sum_reducer(key, values):
 
 
 def _degree_job(num_reducers: int) -> MapReduceJob:
-    """In-degree counting — the broadcast input of the hub detector."""
+    """In-degree counting — the broadcast input of the hub detector.
+
+    The combiner is a :class:`~repro.mapreduce.job.SumCombiner`, which the
+    spilling map path pushes down into the run writer: per-edge ``(dst, 1)``
+    records are folded into per-key partial counts *inside the write
+    buffer*, on the encoded records, before they ever hit disk."""
     return MapReduceJob(
         "graphflat-degree",
         _sum_reducer,
         mapper=_degree_mapper,
-        combiner=_sum_reducer,
+        combiner=SumCombiner(),
         num_reducers=num_reducers,
     )
 
@@ -213,7 +243,7 @@ def _graph_flat(
         missing = [t for t in sorted(target_set) if t not in nodes]
         if missing:
             raise KeyError(f"{len(missing)} target ids not in node table (e.g. {missing[:5]})")
-    label_of = _label_lookup(nodes, target_set)
+    label_of = _LabelTable.from_nodes(nodes)
 
     edge_rows = [
         (int(s), (int(s), int(d), float(w), f))
@@ -262,12 +292,52 @@ def _graph_flat(
                 num_reducers=config.num_reducers,
             )
         )
+    sink_mode = config.dataset_sink
+    if sink_mode == "auto":
+        sink_mode = (
+            "reducer"
+            if fs is not None and config.dataset_layout == "columnar"
+            else "parent"
+        )
+    elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
+        raise ValueError(
+            "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
+        )
+
+    if sink_mode == "reducer":
+        # ---- Storing, reducer-owned: each final-round reducer writes its
+        # own AGLC shard straight into the (pre-cleared) dataset directory;
+        # sample triples never travel through this process.  Shard order =
+        # partition order and keys are sorted within a partition, so the
+        # global record stream matches the parent-side write exactly.
+        directory = fs.prepare_dataset(dataset_name)
+        sink = SampleShardSink(str(directory), _LabelTable.from_nodes(nodes))
+        summaries = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
+        round_stats = degree_stats + list(runtime.round_stats)
+        counts = [count for count, _, _ in summaries]
+        fs.finalize_dataset(
+            dataset_name, layout="columnar", kind="samples", record_counts=counts
+        )
+        return GraphFlatResult(
+            num_targets=sum(counts),
+            hops=config.hops,
+            dataset=dataset_name,
+            hub_nodes=sorted(hubs),
+            round_stats=round_stats,
+            neighborhood_nodes=np.asarray(
+                [n for _, n_nodes, _ in summaries for n in n_nodes], dtype=np.int64
+            ),
+            neighborhood_edges=np.asarray(
+                [n for _, _, n_edges in summaries for n in n_edges], dtype=np.int64
+            ),
+        )
+
     data = runtime.run_rounds(jobs, node_rows + edge_rows)
     # Degree-job stats included: the CLI/bench shuffle accounting must cover
     # every round the pipeline actually ran.
     round_stats: list[RunStats] = degree_stats + list(runtime.round_stats)
 
-    # ---- Storing ------------------------------------------------------------
+    # ---- Storing, parent-side -----------------------------------------------
     triples: list[tuple] = []
     n_nodes: list[int] = []
     n_edges: list[int] = []
@@ -304,17 +374,60 @@ def _graph_flat(
     return result
 
 
-def _label_lookup(nodes: NodeTable, target_set: set[int] | None):
-    if nodes.labels is None:
-        return lambda node_id: None
+@dataclass(frozen=True)
+class _LabelTable:
+    """Picklable label lookup: sorted node ids + aligned label rows.
 
-    def lookup(node_id: int):
-        label = nodes.labels[nodes.index_of(node_id)[0]]
+    The closure variant of this (capturing the whole :class:`NodeTable`)
+    cannot ship inside a reducer-owned sink under the process backend;
+    this table can, and both sink modes use it so label semantics cannot
+    drift between them."""
+
+    ids: np.ndarray
+    values: np.ndarray | None
+
+    @classmethod
+    def from_nodes(cls, nodes: NodeTable) -> "_LabelTable":
+        if nodes.labels is None:
+            return cls(np.empty(0, dtype=np.int64), None)
+        ids = np.asarray(nodes.ids)
+        order = np.argsort(ids, kind="stable")
+        return cls(ids[order], np.asarray(nodes.labels)[order])
+
+    def __call__(self, node_id: int):
+        if self.values is None:
+            return None
+        label = self.values[int(np.searchsorted(self.ids, node_id))]
         if np.ndim(label) == 0:
             return int(label)
         return np.asarray(label, dtype=np.float32)
 
-    return lookup
+
+@dataclass(frozen=True)
+class SampleShardSink:
+    """Reducer-owned columnar sink: the final-round reducer streams its
+    output pairs straight into one AGLC shard (``part-<task>``), buffering
+    one shard's triples — never the whole dataset.  Returns ``(count,
+    n_nodes, n_edges)`` per partition; the parent only ever sees these
+    summaries."""
+
+    directory: str
+    labels: _LabelTable
+
+    def store(self, task_index: int, pairs):
+        triples: list[tuple] = []
+        n_nodes: list[int] = []
+        n_edges: list[int] = []
+        for node_id, (tag, info) in pairs:
+            if tag != "final":  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected record tag {tag!r} after final round")
+            gf = info.to_graph_feature()
+            n_nodes.append(gf.num_nodes)
+            n_edges.append(gf.num_edges)
+            triples.append((node_id, self.labels(node_id), gf))
+        path = Path(self.directory) / f"part-{task_index:05d}"
+        count = write_sample_shard(path, triples)
+        return count, n_nodes, n_edges
 
 
 def _propagation_key(dst: int, src: int, hubs, fanout, reindex_active):

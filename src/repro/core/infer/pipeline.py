@@ -18,9 +18,11 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
+from repro.core.graphflat.pipeline import DATASET_SINKS
 from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
 from repro.core.infer.segmentation import ModelSlice, broadcast_slices, segment_model
 from repro.graph.tables import EdgeTable, NodeTable
@@ -28,6 +30,8 @@ from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.runtime import LocalRuntime, RunStats
+from repro.mapreduce.spill import DEFAULT_RUN_BYTES, DEFAULT_RUN_RECORDS
+from repro.proto.columnar import write_prediction_shard
 from repro.nn.gnn.base import GNNModel
 from repro.proto.codec import decode_prediction, encode_prediction
 from repro.proto.framing import (
@@ -49,6 +53,7 @@ __all__ = [
     "InferPartialReducer",
     "InferPrepareReducer",
     "PredictionReducer",
+    "PredictionShardSink",
     "ReceptiveField",
     "graph_infer",
 ]
@@ -141,10 +146,23 @@ class GraphInferConfig:
     reducer (the pre-slab behavior, kept as the in-process fallback);
     ``auto`` (default) picks ``shm`` under the ``processes`` backend and
     ``pickle`` otherwise.  Scores are byte-identical either way (tested)."""
+    dataset_sink: str = "auto"
+    """Who writes the predictions shards: ``reducer`` (each final-round
+    reducer writes its own columnar shard; shard count = ``num_reducers``),
+    ``parent`` (collect then write ``num_shards`` shards), or ``auto``
+    (default — ``reducer`` whenever a DFS is given with columnar layout).
+    The global record stream is byte-identical either way."""
+    spill_run_records: int = DEFAULT_RUN_RECORDS
+    """External-sort run bound: records buffered per spill writer before a
+    sorted run is flushed (see ``repro.mapreduce.spill.SpillRunWriter``)."""
+    spill_run_bytes: int = DEFAULT_RUN_BYTES
+    """External-sort run bound in encoded bytes (binary codec only)."""
 
     def __post_init__(self):
         if self.dataset_layout not in DATASET_LAYOUTS:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
+        if self.dataset_sink not in DATASET_SINKS:
+            raise ValueError(f"dataset_sink must be one of {DATASET_SINKS}")
         if self.slice_transport not in SLICE_TRANSPORTS:
             raise ValueError(
                 f"slice_transport must be one of {SLICE_TRANSPORTS}, "
@@ -157,6 +175,8 @@ class GraphInferConfig:
             max_workers=self.num_workers,
             spill_dir=self.spill_dir,
             shuffle_codec=self.shuffle_codec,
+            spill_run_records=self.spill_run_records,
+            spill_run_bytes=self.spill_run_bytes,
         )
 
 
@@ -369,9 +389,6 @@ def _graph_infer_rounds(
             num_reducers=config.num_reducers,
         )
     )
-    data = runtime.run_rounds(jobs, node_rows + edge_rows)
-    stats = list(runtime.round_stats)
-
     if distance is None:
         embedding_computations = len(nodes) * total_rounds
     else:
@@ -381,6 +398,39 @@ def _graph_infer_rounds(
             for node_id, d in distance.items()
             if d <= total_rounds - k and node_id in nodes
         )
+
+    sink_mode = config.dataset_sink
+    if sink_mode == "auto":
+        sink_mode = (
+            "reducer"
+            if fs is not None and config.dataset_layout == "columnar"
+            else "parent"
+        )
+    elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
+        raise ValueError(
+            "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
+        )
+
+    if sink_mode == "reducer":
+        # Reducer-owned sink: each prediction reducer writes its own AGLC
+        # shard; score matrices never travel through this process.
+        directory = fs.prepare_dataset(dataset_name)
+        sink = PredictionShardSink(str(directory))
+        counts = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
+        fs.finalize_dataset(
+            dataset_name, layout="columnar", kind="predictions", record_counts=counts
+        )
+        return GraphInferResult(
+            num_nodes=sum(counts),
+            dataset=dataset_name,
+            round_stats=list(runtime.round_stats),
+            embedding_computations=embedding_computations,
+            slice_transport=transport,
+        )
+
+    data = runtime.run_rounds(jobs, node_rows + edge_rows)
+    stats = list(runtime.round_stats)
+
     result = GraphInferResult(
         num_nodes=len(data),
         round_stats=stats,
@@ -576,6 +626,21 @@ class EmbeddingReducer:
                     out.dst, node_id, self.hubs, self.fanout, self.reindex_active
                 )
                 yield key, ("in", _InEmb(node_id, out.weight, out.edge_feat, h_next))
+
+
+@dataclass(frozen=True)
+class PredictionShardSink:
+    """Reducer-owned columnar sink for predictions: the final-round reducer
+    streams its ``(node_id, scores)`` pairs into one AGLC shard
+    (``part-<task>``), buffering one shard's records — never the whole
+    dataset.  Returns the record count; that is all the parent sees."""
+
+    directory: str
+
+    def store(self, task_index: int, pairs):
+        records = [(int(node_id), scores) for node_id, scores in pairs]
+        path = Path(self.directory) / f"part-{task_index:05d}"
+        return write_prediction_shard(path, records)
 
 
 @dataclass

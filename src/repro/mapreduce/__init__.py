@@ -24,7 +24,7 @@ from repro.mapreduce.backends import (
     make_backend,
     register_backend,
 )
-from repro.mapreduce.job import JobFailedError, MapReduceJob
+from repro.mapreduce.job import Combiner, JobFailedError, MapReduceJob, SumCombiner
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
 from repro.mapreduce.fs import DistFileSystem
@@ -34,6 +34,8 @@ from repro.mapreduce.spill import SPILL_CODECS, SpillLayout, SpillWriteResult
 __all__ = [
     "BACKEND_REGISTRY",
     "Backend",
+    "Combiner",
+    "SumCombiner",
     "MapReduceJob",
     "JobFailedError",
     "LocalRuntime",

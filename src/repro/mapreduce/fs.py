@@ -73,15 +73,17 @@ class DistFileSystem:
         layout: str = "row",
         kind: str = "samples",
     ) -> int:
-        """Write ``records`` round-robin into ``num_shards`` part files.
+        """Write ``records`` into ``num_shards`` contiguous part files.
 
         With ``layout="row"``, records are wire-format ``bytes``.  With
         ``layout="columnar"``, records may be wire bytes *or* structured
         records — ``(target_id, label, GraphFeature)`` triples for
         ``kind="samples"``, ``(node_id, scores)`` pairs for
         ``kind="predictions"`` — which lets producers skip the per-record
-        framing pass entirely.  Record order is preserved either way:
-        reading shard-major yields the same sequence for both layouts.
+        framing pass entirely.  Shards are contiguous, balanced (±1) chunks
+        of the input sequence, so a shard-major read reproduces the input
+        order exactly — the same global record stream a reducer-owned write
+        of the same partitions would produce (only shard boundaries differ).
 
         Returns the record count.  Overwrites any existing dataset of the
         same name (jobs are idempotent: re-running a failed job replaces
@@ -91,17 +93,16 @@ class DistFileSystem:
             raise ValueError("num_shards must be positive")
         if layout not in DATASET_LAYOUTS:
             raise ValueError(f"layout must be one of {DATASET_LAYOUTS}, got {layout!r}")
-        directory = self._dataset_dir(name)
-        if directory.exists():
-            shutil.rmtree(directory)
-        directory.mkdir(parents=True)
-        buckets: list[list] = [[] for _ in range(num_shards)]
-        count = 0
-        for record in records:
-            buckets[count % num_shards].append(record)
-            count += 1
+        directory = self.prepare_dataset(name)
+        everything = list(records)
+        count = len(everything)
+        size, extra = divmod(count, num_shards)
         counts = []
-        for shard, bucket in enumerate(buckets):
+        start = 0
+        for shard in range(num_shards):
+            end = start + size + (1 if shard < extra else 0)
+            bucket = everything[start:end]
+            start = end
             path = directory / f"part-{shard:05d}"
             if layout == "row":
                 counts.append(write_records(path, bucket))
@@ -109,16 +110,45 @@ class DistFileSystem:
                 counts.append(write_prediction_shard(path, bucket))
             else:
                 counts.append(write_sample_shard(path, bucket))
-        # ``kind`` is recorded for every layout (row included) so consumers
-        # can dispatch on it instead of sniffing record bytes.
+        self.finalize_dataset(name, layout=layout, kind=kind, record_counts=counts)
+        return count
+
+    def prepare_dataset(self, name: str) -> Path:
+        """Clear + create a dataset directory for out-of-band shard writes.
+
+        The reducer-owned sink path: the parent prepares the directory, the
+        final-round reducers each write their own ``part-NNNNN`` shard into
+        it, and the parent commits with :meth:`finalize_dataset`.  A crash
+        in between leaves a directory without ``_META.json``, which the next
+        (idempotent) run clears and rewrites."""
+        directory = self._dataset_dir(name)
+        if directory.exists():
+            shutil.rmtree(directory)
+        directory.mkdir(parents=True)
+        return directory
+
+    def finalize_dataset(
+        self,
+        name: str,
+        layout: str,
+        kind: str,
+        record_counts: list[int],
+    ) -> None:
+        """Commit a dataset whose shards were written out-of-band
+        (:meth:`prepare_dataset`) by recording its ``_META.json``.
+
+        ``kind`` is recorded for every layout (row included) so consumers
+        can dispatch on it instead of sniffing record bytes."""
+        if layout not in DATASET_LAYOUTS:
+            raise ValueError(f"layout must be one of {DATASET_LAYOUTS}, got {layout!r}")
+        directory = self._dataset_dir(name)
         meta = {
             "layout": layout,
             "kind": kind,
-            "record_counts": counts,
-            "total_records": count,
+            "record_counts": list(record_counts),
+            "total_records": int(sum(record_counts)),
         }
         (directory / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
-        return count
 
     # -------------------------------------------------------------- reading
     def shards(self, name: str) -> list[Path]:

@@ -20,12 +20,15 @@ change job output — tests assert this.
 
 Shuffle spill: with ``spill_dir`` set (or always under the ``processes``
 backend, which uses a private temp directory unless told otherwise), each
-map task spills one key-sorted frame file per reduce partition and reducers
+map task spills key-sorted frame files per reduce partition and reducers
 *stream-merge* their partition's files (:mod:`repro.mapreduce.spill`):
 groups are fed to the reducer one at a time through a bounded per-file
-buffer, so a reducer's *input* partition never has to be resident in RAM
-(its own output is still buffered before the sorted chain write — see
-ROADMAP "streamed chain-sink writes").  Spill records are encoded by a
+buffer, so a reducer's *input* partition never has to be resident in RAM.
+The write side is bounded too: map tasks and chain reducers stream their
+output through :class:`~repro.mapreduce.spill.SpillRunWriter`, which
+external-sorts into bounded runs (``spill_run_records`` / ``spill_run_bytes``
+knobs) that the next round's read-side merge recombines — so neither side
+of a shuffle ever materializes a partition.  Spill records are encoded by a
 pluggable codec
 (``shuffle_codec``): ``"pickle"`` for arbitrary jobs, or ``"binary"`` flat
 records (:mod:`repro.proto.framing`) which GraphFlat/GraphInfer use to avoid
@@ -48,6 +51,7 @@ would have preserved), so output stays byte-identical.
 
 from __future__ import annotations
 
+import os
 import pickle
 import shutil
 import tempfile
@@ -58,9 +62,15 @@ from pathlib import Path
 
 from repro.mapreduce.backends import Backend, WorkerCrashError, make_backend
 from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
-from repro.mapreduce.job import JobFailedError, MapReduceJob, identity_mapper
+from repro.mapreduce.job import Combiner, JobFailedError, MapReduceJob, identity_mapper
 from repro.mapreduce.shuffle import group_sorted
-from repro.mapreduce.spill import SPILL_CODECS, SpillLayout, SpillWriteResult
+from repro.mapreduce.spill import (
+    DEFAULT_RUN_BYTES,
+    DEFAULT_RUN_RECORDS,
+    SPILL_CODECS,
+    SpillLayout,
+    SpillWriteResult,
+)
 
 __all__ = ["LocalRuntime", "RunStats"]
 
@@ -78,6 +88,11 @@ class RunStats:
     shuffle_bytes_written: int = 0
     """Bytes spilled to shuffle files this round (0 for in-memory shuffles)
     — the quantity the binary record codec exists to shrink."""
+    peak_reducer_buffer_bytes: int = 0
+    """Largest single sorted-run flush (file bytes) any chain reducer made
+    this round — the external sort's buffering high-water mark.  Bounded by
+    the run knobs, it stays flat as shard size grows; 0 for in-memory
+    shuffles and terminal collect rounds."""
     map_attempts: int = 0
     reduce_attempts: int = 0
     injected_failures: int = 0
@@ -96,6 +111,9 @@ class RunStats:
         self.shuffled_records += other.shuffled_records
         self.reduced_records += other.reduced_records
         self.shuffle_bytes_written += other.shuffle_bytes_written
+        self.peak_reducer_buffer_bytes = max(
+            self.peak_reducer_buffer_bytes, other.peak_reducer_buffer_bytes
+        )
         self.map_attempts += other.map_attempts
         self.reduce_attempts += other.reduce_attempts
         self.injected_failures += other.injected_failures
@@ -176,14 +194,27 @@ class _MemoryChainSink:
 @dataclass(frozen=True)
 class _SpillChainSink:
     """Chained round (spilled): partition output straight to the next
-    round's shuffle files; only counters go back to the parent."""
+    round's shuffle files; only counters go back to the parent.
+
+    Output streams through a :class:`~repro.mapreduce.spill.SpillRunWriter`
+    — the reducer's own output is external-sorted into bounded runs as it
+    is produced, never buffered whole (tentpole of the constant-memory
+    dataflow)."""
 
     layout: SpillLayout
     partitioner: Callable
+    run_records: int = DEFAULT_RUN_RECORDS
+    run_bytes: int = DEFAULT_RUN_BYTES
 
     def store(self, task_index: int, pairs):
-        buckets = _partition_pairs(pairs, self.partitioner, self.layout.num_partitions)
-        return self.layout.write_map_output(task_index, buckets)
+        writer = self.layout.run_writer(
+            task_index, run_records=self.run_records, run_bytes=self.run_bytes
+        )
+        num = self.layout.num_partitions
+        partitioner = self.partitioner
+        for key, value in pairs:
+            writer.append(partitioner(key, num), key, value)
+        return writer.finish()
 
 
 @dataclass
@@ -244,11 +275,39 @@ def _map_task_memory(job: MapReduceJob, chunk: list[tuple]):
     return _map_chunk(job, chunk)
 
 
-def _map_task_spill(job: MapReduceJob, chunk: list[tuple], spill: SpillLayout, index: int):
+def _map_task_spill(
+    job: MapReduceJob,
+    chunk: list[tuple],
+    spill: SpillLayout,
+    index: int,
+    run_records: int = DEFAULT_RUN_RECORDS,
+    run_bytes: int = DEFAULT_RUN_BYTES,
+):
     """Spilling map task: partition files go straight to disk; only the
-    per-partition counts and byte totals travel back to the parent."""
-    buckets, mapped, combined = _map_chunk(job, chunk)
-    return spill.write_map_output(index, buckets), mapped, combined
+    per-partition counts and byte totals travel back to the parent.
+
+    Mapper output streams through a bounded-run writer.  A
+    :class:`~repro.mapreduce.job.Combiner` is pushed down into the writer,
+    which folds each key's run right before it hits disk (frame-level
+    map-side combine — no whole-output grouping pass).  Classic callable
+    combiners may re-key, so they keep the eager grouped path."""
+    combiner = job.combiner if isinstance(job.combiner, Combiner) else None
+    if combiner is None and job.combiner is not None:
+        buckets, mapped, combined = _map_chunk(job, chunk)
+        return spill.write_map_output(index, buckets), mapped, combined
+    writer = spill.run_writer(
+        index, combiner=combiner, run_records=run_records, run_bytes=run_bytes
+    )
+    mapped = 0
+    partitioner = job.partitioner
+    num = job.num_reducers
+    for key, value in chunk:
+        for out_key, out_value in job.mapper(key, value):
+            mapped += 1
+            writer.append(partitioner(out_key, num), out_key, out_value)
+    written = writer.finish()
+    combined = sum(written.counts) if combiner is not None else 0
+    return written, mapped, combined
 
 
 def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
@@ -271,6 +330,32 @@ def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
     return stored, counters[0], counters[1], counters[2]
 
 
+def _sweep_dead_sessions(spill_dir: Path) -> None:
+    """Remove session directories whose owning process no longer exists.
+
+    A runtime that crashed (or was SIGKILLed) mid-chain cannot run its own
+    cleanup, stranding intermediate run files under the shared ``spill_dir``.
+    Session directory names embed the owner's pid (``mr<pid>.<token>``), so
+    the next runtime to use the directory reaps every session whose pid is
+    gone — a crashed round N leaves nothing behind for anyone's round N+1."""
+    for entry in spill_dir.glob("mr[0-9]*.*"):
+        if not entry.is_dir():
+            continue
+        name = entry.name
+        try:
+            pid = int(name[2 : name.index(".")])
+        except ValueError:
+            continue
+        if pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            shutil.rmtree(entry, ignore_errors=True)
+        except OSError:
+            continue  # pid alive under another user, or unknowable — keep it
+
+
 def _chainable(job: MapReduceJob) -> bool:
     """A reduce-only round can consume the previous round's reducer output
     directly (its identity map phase is a no-op to skip)."""
@@ -288,6 +373,8 @@ class LocalRuntime:
         failure_injector: FailureInjector | None = None,
         spill_dir: str | Path | None = None,
         shuffle_codec: str = "pickle",
+        spill_run_records: int = DEFAULT_RUN_RECORDS,
+        spill_run_bytes: int = DEFAULT_RUN_BYTES,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -302,19 +389,22 @@ class LocalRuntime:
         self.injector = failure_injector
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.shuffle_codec = shuffle_codec
-        self._auto_spill_dir: Path | None = None
+        self.spill_run_records = spill_run_records
+        self.spill_run_bytes = spill_run_bytes
+        self._session_dir: Path | None = None
         self._finalizer: weakref.finalize | None = None
         self.last_stats: RunStats | None = None
         self.round_stats: list[RunStats] = []
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down pooled workers and remove any private spill directory."""
+        """Shut down pooled workers and remove this runtime's session spill
+        directory (round subdirectories and all)."""
         self._backend.close()
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
-            self._auto_spill_dir = None
+            self._session_dir = None
 
     def __enter__(self) -> "LocalRuntime":
         return self
@@ -333,18 +423,32 @@ class LocalRuntime:
         self.last_stats = stats
         return output
 
-    def run_rounds(self, jobs: list[MapReduceJob], inputs: Iterable[tuple]) -> list[tuple]:
+    def run_rounds(
+        self,
+        jobs: list[MapReduceJob],
+        inputs: Iterable[tuple],
+        final_sink=None,
+    ) -> list:
         """Chain rounds: round i+1 consumes round i's output (GraphFlat's
         'Reduce phase runs K times' is exactly this chaining).  Consecutive
         reduce-only rounds hand partitions directly from reducer to reducer
         — see the module docstring.  Per-round counters land in
-        ``round_stats``; ``last_stats`` holds their merge."""
+        ``round_stats``; ``last_stats`` holds their merge.
+
+        ``final_sink`` replaces the terminal collect: instead of shipping
+        the last round's output pairs back to the parent, each final
+        reducer streams its pairs into ``final_sink.store(task_index,
+        pairs)`` — e.g. writing its own columnar shard — and only the
+        per-partition summaries return (as the result list, in partition
+        order).  The sink must be picklable under the process backend."""
         data = list(inputs)
         if not jobs:
             return data
         if self._backend.needs_pickling:
             for job in jobs:
                 self._check_shippable(job)
+            if final_sink is not None:
+                self._check_shippable(final_sink, what="final sink")
         self.round_stats = []
         merged = RunStats(job="+".join(j.name for j in jobs))
         incoming: _ChainState | None = None
@@ -357,7 +461,8 @@ class LocalRuntime:
                 # name, and round i+1's chain input must not collide with
                 # the files round i+2's input is being written to.
                 chain_name = None if next_job is None else f"chain{i + 1:04d}.{next_job.name}"
-                result, stats = self._run_one(job, data, incoming, next_job, chain_name)
+                sink = final_sink if i == len(jobs) - 1 else None
+                result, stats = self._run_one(job, data, incoming, next_job, chain_name, sink)
                 self.round_stats.append(stats)
                 merged.merge(stats)
                 if isinstance(result, _ChainState):
@@ -371,30 +476,44 @@ class LocalRuntime:
         return data
 
     # ------------------------------------------------------------ internals
-    def _check_shippable(self, job: MapReduceJob) -> None:
+    def _check_shippable(self, obj, what: str = "job") -> None:
+        name = f" {obj.name!r}" if isinstance(obj, MapReduceJob) else ""
         try:
-            pickle.dumps(job)
+            pickle.dumps(obj)
         except Exception as exc:
             raise TypeError(
-                f"job {job.name!r} cannot be shipped to worker processes "
-                f"({exc}); use top-level functions or callable dataclasses "
-                "for mapper/combiner/reducer/partitioner, not closures"
+                f"{what}{name} cannot be shipped to worker processes "
+                f"({exc}); use top-level functions or callable dataclasses, "
+                "not closures"
             ) from exc
 
     def _spill_root(self) -> str | None:
-        """Directory for shuffle files: the user's ``spill_dir``, a private
-        temp dir under the process backend, else ``None`` (in-memory)."""
+        """Directory for this runtime's shuffle files: a per-runtime
+        *session* directory (``mr<pid>.<token>``) under the user's
+        ``spill_dir``, a private temp dir under the process backend, else
+        ``None`` (in-memory).
+
+        All of a session's round and chain directories live inside its
+        session directory, so one rmtree — at :meth:`close`, via the
+        garbage-collection finalizer, or by a later runtime sweeping
+        sessions whose owning process is dead — removes every intermediate
+        run file a crashed round could have stranded."""
+        if self._session_dir is not None:
+            return str(self._session_dir)
         if self.spill_dir is not None:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
-            return str(self.spill_dir)
-        if self._backend.needs_pickling:
-            if self._auto_spill_dir is None:
-                self._auto_spill_dir = Path(tempfile.mkdtemp(prefix="repro-mr-spill-"))
-                self._finalizer = weakref.finalize(
-                    self, shutil.rmtree, str(self._auto_spill_dir), ignore_errors=True
-                )
-            return str(self._auto_spill_dir)
-        return None
+            _sweep_dead_sessions(self.spill_dir)
+            self._session_dir = Path(
+                tempfile.mkdtemp(prefix=f"mr{os.getpid()}.", dir=self.spill_dir)
+            )
+        elif self._backend.needs_pickling:
+            self._session_dir = Path(tempfile.mkdtemp(prefix="repro-mr-spill-"))
+        else:
+            return None
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, str(self._session_dir), ignore_errors=True
+        )
+        return str(self._session_dir)
 
     def _run_one(
         self,
@@ -403,11 +522,14 @@ class LocalRuntime:
         incoming: _ChainState | None,
         next_job: MapReduceJob | None,
         chain_name: str | None = None,
+        final_sink=None,
     ):
         """One map -> shuffle -> reduce round.  ``incoming`` replaces the
         map phase with pre-partitioned chain input; ``next_job`` makes the
         reduce phase emit chain input for the following round instead of
-        collecting output pairs."""
+        collecting output pairs; ``final_sink`` replaces the terminal
+        collect with a reducer-owned store (per-partition summaries come
+        back instead of pairs)."""
         stats = RunStats(job=job.name)
         injected_before = self.injector.injected if self.injector is not None else 0
         spill_root = self._spill_root()
@@ -481,13 +603,18 @@ class LocalRuntime:
                 sources = [incoming.source(p) for p in range(job.num_reducers)]
 
             if next_job is None:
-                sink = _CollectSink()
+                sink = final_sink if final_sink is not None else _CollectSink()
             elif spill_root is not None:
                 chain_dir = tempfile.mkdtemp(prefix=f"{chain_name}.", dir=spill_root)
                 chain_layout = SpillLayout(
                     chain_dir, chain_name, next_job.num_reducers, codec=self.shuffle_codec
                 )
-                sink = _SpillChainSink(chain_layout, next_job.partitioner)
+                sink = _SpillChainSink(
+                    chain_layout,
+                    next_job.partitioner,
+                    run_records=self.spill_run_records,
+                    run_bytes=self.spill_run_bytes,
+                )
                 chain = _ChainState(num_tasks=job.num_reducers, layout=chain_layout, counts=[])
             else:
                 sink = _MemoryChainSink(next_job.partitioner, next_job.num_reducers)
@@ -505,18 +632,24 @@ class LocalRuntime:
             if not success and chain is not None:
                 chain.cleanup()
 
-        output: list[tuple] = []
+        output: list = []
         for p, ((stored, reduced, groups, biggest), attempts) in enumerate(results):
             stats.reduced_records += reduced
             stats.reduce_attempts += attempts
             stats.reducer_group_sizes[p] = groups
             stats.max_group_values = max(stats.max_group_values, biggest)
             if chain is None:
-                output.extend(stored)
+                if final_sink is not None:
+                    output.append(stored)  # per-partition sink summary
+                else:
+                    output.extend(stored)
             elif chain.layout is not None:
                 assert isinstance(stored, SpillWriteResult)
                 chain.counts.append(stored.counts)
                 stats.shuffle_bytes_written += stored.bytes_written
+                stats.peak_reducer_buffer_bytes = max(
+                    stats.peak_reducer_buffer_bytes, stored.peak_buffer_bytes
+                )
             else:
                 chain.buckets.append(stored)
 
@@ -549,7 +682,11 @@ class LocalRuntime:
             ]
         else:
             tasks = [
-                (f"map-{i}", _map_task_spill, (job, chunk, layout, i))
+                (
+                    f"map-{i}",
+                    _map_task_spill,
+                    (job, chunk, layout, i, self.spill_run_records, self.spill_run_bytes),
+                )
                 for i, chunk in enumerate(chunks)
             ]
         results = self._execute(job.name, tasks)

@@ -1,15 +1,27 @@
 """Partitioned shuffle spill: map-side sorted frame writes, reduce-side
 streamed merge.
 
-Each map task writes its output for reduce partition ``p`` straight to
-``<root>/<job>.m<task>.p<p>.<ext>`` and hands back only per-partition record
-counts and byte totals.  Within a file, records are *stably sorted by
-canonical key bytes* (the map-side sort of real MapReduce), so each reduce
-task can k-way-merge its partition's files through a bounded buffer — one
-frame per file in flight — instead of materializing the whole partition in
-RAM.  Merge ties prefer the lower map-task index, which makes the merged
-stream exactly the stable sort of the old concatenation order: grouping, and
-therefore job output, stays byte-identical.
+Each map task (or chain reducer) writes its output for reduce partition
+``p`` to run files ``<root>/<job>.m<task>.p<p>.r<run>.<ext>``.  Within a
+file, records are *stably sorted by canonical key bytes* (the map-side sort
+of real MapReduce), so each reduce task can k-way-merge its partition's
+files through a bounded buffer — one frame per file in flight — instead of
+materializing the whole partition in RAM.  Merge streams are ordered
+task-major then run-order and ties prefer the earlier stream, which makes
+the merged stream exactly the stable sort of the old concatenation order:
+grouping, and therefore job output, stays byte-identical.
+
+Two write paths share that on-disk shape:
+
+* :meth:`SpillLayout.write_map_output` — eager: one run (run 0) per
+  partition from a fully materialized bucket list.
+* :class:`SpillRunWriter` — the external sort: ``append`` streams records
+  into bounded per-partition buffers and every time the run bounds fill,
+  all non-empty buffers flush as key-sorted run files.  Peak writer memory
+  is one run, not one task's whole output, no matter how large the shard.
+  With an associative :class:`~repro.mapreduce.job.Combiner`, each key's
+  buffered run is folded *before* it hits disk — for the binary codec
+  directly on the encoded records (frame-level map-side combine).
 
 Record encoding is pluggable (the ``codec`` knob):
 
@@ -43,6 +55,7 @@ from pathlib import Path
 from repro.proto.framing import (
     FrameCorruptionError,
     decode_value,
+    encode_list_payload,
     encode_value,
     iter_frames,
     read_stream_header,
@@ -51,7 +64,14 @@ from repro.proto.framing import (
 )
 from repro.mapreduce.shuffle import decode_key, key_bytes
 
-__all__ = ["SPILL_CODECS", "SpillLayout", "SpillWriteResult"]
+__all__ = [
+    "DEFAULT_RUN_BYTES",
+    "DEFAULT_RUN_RECORDS",
+    "SPILL_CODECS",
+    "SpillLayout",
+    "SpillRunWriter",
+    "SpillWriteResult",
+]
 
 SPILL_CODECS = ("pickle", "binary")
 
@@ -62,14 +82,23 @@ _READ_BUFFER_BYTES = 1 << 16
 """Per-file read buffer of the merge iterator — the explicit bound on how
 much of a partition is ever resident during a streamed reduce."""
 
+DEFAULT_RUN_RECORDS = 1 << 16
+"""Run bound by record count — caps buffered *objects* for both codecs."""
+
+DEFAULT_RUN_BYTES = 32 << 20
+"""Run bound by encoded payload bytes (binary codec only, where per-record
+encodings are produced at append time and byte accounting is exact)."""
+
 
 @dataclass(frozen=True)
 class SpillWriteResult:
     """What a map task (or chain reducer) reports back to the parent after
-    spilling: per-partition record counts plus total bytes on disk."""
+    spilling: per-partition record counts, total bytes on disk, and the
+    largest single flush (the writer's actual buffering high-water mark)."""
 
     counts: list[int]
     bytes_written: int = 0
+    peak_buffer_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -90,9 +119,16 @@ class SpillLayout:
             )
 
     def path(self, map_task: int, partition: int) -> Path:
+        """Path of the first (and, for eager writes, only) run file."""
+        return self.run_path(map_task, partition, 0)
+
+    def run_path(self, map_task: int, partition: int, run: int) -> Path:
+        """Path of one sorted run.  Runs are numbered contiguously from 0
+        per ``(map_task, partition)``; the reader scans until the first
+        missing index."""
         ext = _CODEC_EXTS[self.codec]
         return Path(self.root) / (
-            f"{self.job_name}.m{map_task:05d}.p{partition:05d}.{ext}"
+            f"{self.job_name}.m{map_task:05d}.p{partition:05d}.r{run:05d}.{ext}"
         )
 
     # ------------------------------------------------------------ record codec
@@ -116,10 +152,23 @@ class SpillLayout:
         return pickle.loads(payload)
 
     # ------------------------------------------------------------- map side
+    def run_writer(
+        self,
+        map_task: int,
+        combiner=None,
+        run_records: int = DEFAULT_RUN_RECORDS,
+        run_bytes: int = DEFAULT_RUN_BYTES,
+    ) -> "SpillRunWriter":
+        """Streaming bounded-memory writer for one task's partitioned
+        output — see :class:`SpillRunWriter`."""
+        return SpillRunWriter(
+            self, map_task, combiner=combiner, run_records=run_records, run_bytes=run_bytes
+        )
+
     def write_map_output(self, map_task: int, buckets: list[list[tuple]]) -> SpillWriteResult:
-        """Spill one map task's partitioned output; returns per-partition
-        record counts and bytes written (the only things shipped back to the
-        parent)."""
+        """Spill one map task's partitioned output eagerly (one run per
+        partition); returns per-partition record counts and bytes written
+        (the only things shipped back to the parent)."""
         Path(self.root).mkdir(parents=True, exist_ok=True)
         counts = []
         total_bytes = 0
@@ -153,6 +202,16 @@ class SpillLayout:
         return written
 
     # ---------------------------------------------------------- reduce side
+    def _iter_task_runs(self, map_task: int, partition: int):
+        """Run files one task wrote for one partition, in run order."""
+        run = 0
+        while True:
+            path = self.run_path(map_task, partition, run)
+            if not path.exists():
+                return
+            yield path
+            run += 1
+
     def _iter_file(self, path: Path):
         """Yield ``(key_bytes, values)`` run frames from one spill file,
         streamed through a bounded buffer."""
@@ -167,15 +226,18 @@ class SpillLayout:
                 yield kb, self._decode_payload(payload)
 
     def _iter_merged(self, partition: int, num_map_tasks: int):
-        """K-way merge of one partition's files: globally key-sorted
-        ``(key_bytes, values)`` run stream, ties broken toward lower map
-        tasks (``heapq.merge`` is stable), holding one run per file in
-        memory."""
+        """K-way merge of one partition's run files: globally key-sorted
+        ``(key_bytes, values)`` run stream, holding one frame per file in
+        memory.  Streams are ordered task-major then run-order and
+        ``heapq.merge`` is stable, so same-key values concatenate in their
+        original emission order — exactly the order a single eager sorted
+        write per task would have produced."""
         streams = []
         for map_task in range(num_map_tasks):
-            path = self.path(map_task, partition)
-            if path.exists():  # empty buckets were never written
+            for path in self._iter_task_runs(map_task, partition):
                 streams.append(self._iter_file(path))
+        if not streams:
+            return
         if len(streams) == 1:
             yield from streams[0]
             return
@@ -205,21 +267,140 @@ class SpillLayout:
         if current_kb is not None:
             yield current_key, acc
 
-    def read_partition(self, partition: int, num_map_tasks: int) -> list[tuple]:
-        """Materialize one partition (key-sorted).  Prefer the streaming
-        :meth:`iter_partition` / :meth:`iter_groups` in reduce paths."""
-        return list(self.iter_partition(partition, num_map_tasks))
-
     # ------------------------------------------------------------- cleanup
-    def cleanup(self, num_map_tasks: int) -> None:
-        """Delete the job's spill files — including ``.tmp*`` partials left
-        by task attempts that died mid-write — once the reduce is done."""
-        for map_task in range(num_map_tasks):
-            for partition in range(self.num_partitions):
-                path = self.path(map_task, partition)
-                if path.exists():
-                    path.unlink()
+    def cleanup(self, num_map_tasks: int | None = None) -> None:
+        """Delete the job's spill files — every run of every task, plus
+        ``.tmp*`` partials left by task attempts that died mid-write — once
+        the reduce is done."""
         root = Path(self.root)
         if root.exists():
-            for orphan in root.glob(f"{self.job_name}.m*.tmp*"):
-                orphan.unlink(missing_ok=True)
+            for path in root.glob(f"{self.job_name}.m*"):
+                path.unlink(missing_ok=True)
+
+
+class SpillRunWriter:
+    """External sort on the write side: streamed append, bounded sorted runs.
+
+    Records are buffered per ``(partition, canonical key bytes)``.  Once the
+    buffered volume crosses ``run_records`` (both codecs) or ``run_bytes``
+    (binary codec — per-record encodings are produced at append time, so
+    byte accounting is exact), every non-empty partition buffer is flushed
+    as one key-sorted run file and the buffers reset.  Flush points are a
+    deterministic function of the append sequence, so a re-executed task
+    attempt rewrites byte-identical runs over any partials a crashed attempt
+    left behind (each run write is itself atomic: temp file + ``os.replace``).
+
+    ``combiner`` (a :class:`~repro.mapreduce.job.Combiner`) folds each key's
+    buffered values at flush time — before they reach disk.  Under the
+    binary codec the fold runs on the encoded records via
+    ``combine_encoded``, falling back to decode/combine/encode only if the
+    combiner declines.
+
+    Reported ``counts`` are post-combine; ``peak_buffer_bytes`` is the
+    largest single flush in file bytes — the writer's actual buffering
+    high-water mark, which stays flat as task output grows.
+    """
+
+    def __init__(
+        self,
+        layout: SpillLayout,
+        map_task: int,
+        combiner=None,
+        run_records: int = DEFAULT_RUN_RECORDS,
+        run_bytes: int = DEFAULT_RUN_BYTES,
+    ):
+        if run_records < 1:
+            raise ValueError("run_records must be >= 1")
+        if run_bytes < 1:
+            raise ValueError("run_bytes must be >= 1")
+        self._layout = layout
+        self._map_task = map_task
+        self._combiner = combiner
+        self._run_records = run_records
+        self._run_bytes = run_bytes
+        self._binary = layout.codec == "binary"
+        num = layout.num_partitions
+        # partition -> key_bytes -> (key, values) where values are encoded
+        # item bytes (binary) or plain objects (pickle).
+        self._buffers: list[dict[bytes, tuple[object, list]]] = [{} for _ in range(num)]
+        self._pending_records = 0
+        self._pending_bytes = 0
+        self._next_run = [0] * num
+        self._counts = [0] * num
+        self._bytes_written = 0
+        self._peak_flush = 0
+        self._made_root = False
+
+    def append(self, partition: int, key, value) -> None:
+        kb = key_bytes(key)
+        buffer = self._buffers[partition]
+        if self._binary:
+            value = encode_value(value)
+            self._pending_bytes += len(value)
+        entry = buffer.get(kb)
+        if entry is None:
+            buffer[kb] = (key, [value])
+        else:
+            entry[1].append(value)
+        self._pending_records += 1
+        if self._pending_records >= self._run_records or (
+            self._binary and self._pending_bytes >= self._run_bytes
+        ):
+            self._flush()
+
+    def _combine_buffer(self, buffer: dict[bytes, tuple[object, list]]) -> None:
+        for kb, (key, items) in buffer.items():
+            if len(items) <= 1:
+                continue
+            if self._binary:
+                folded = self._combiner.combine_encoded(kb, items)
+                if folded is None:
+                    values = [decode_value(item)[0] for item in items]
+                    folded = [encode_value(v) for v in self._combiner.combine(key, values)]
+                buffer[kb] = (key, folded)
+            else:
+                buffer[kb] = (key, list(self._combiner.combine(key, items)))
+
+    def _flush(self) -> None:
+        if self._pending_records == 0:
+            return
+        if not self._made_root:
+            Path(self._layout.root).mkdir(parents=True, exist_ok=True)
+            self._made_root = True
+        codec_id = _CODEC_IDS[self._layout.codec]
+        flushed = 0
+        for partition, buffer in enumerate(self._buffers):
+            if not buffer:
+                continue
+            if self._combiner is not None:
+                self._combine_buffer(buffer)
+            final = self._layout.run_path(
+                self._map_task, partition, self._next_run[partition]
+            )
+            tmp = final.with_suffix(f".tmp{os.getpid()}")
+            with open(tmp, "wb") as fh:
+                written = write_stream_header(fh, codec_id)
+                for kb in sorted(buffer):
+                    _, items = buffer[kb]
+                    self._counts[partition] += len(items)
+                    if self._binary:
+                        payload = encode_list_payload(items)
+                    else:
+                        payload = pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL)
+                    written += write_frame(fh, kb, payload)
+            os.replace(tmp, final)
+            self._next_run[partition] += 1
+            self._buffers[partition] = {}
+            flushed += written
+        self._bytes_written += flushed
+        if flushed > self._peak_flush:
+            self._peak_flush = flushed
+        self._pending_records = 0
+        self._pending_bytes = 0
+
+    def finish(self) -> SpillWriteResult:
+        """Flush the final runs and report counts/bytes to the parent."""
+        self._flush()
+        return SpillWriteResult(
+            list(self._counts), self._bytes_written, self._peak_flush
+        )

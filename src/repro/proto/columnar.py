@@ -37,6 +37,7 @@ the row layout would have written for the same records — which is what lets
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -70,6 +71,16 @@ _LABEL_KINDS = ("none", "int", "vector")
 
 def _align(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _write_atomic(path: str | Path, data: bytes) -> None:
+    """Commit a shard via temp file + ``os.replace`` so a writer that dies
+    mid-write (a reducer-owned sink task, say) can never leave a truncated
+    shard under the final name — re-executions simply overwrite."""
+    final = Path(path)
+    tmp = final.with_name(f"{final.name}.tmp{os.getpid()}")
+    tmp.write_bytes(data)
+    os.replace(tmp, final)
 
 
 def _pack(arrays: list[tuple[str, np.ndarray]], kind: str, meta: dict, num_records: int) -> bytes:
@@ -197,7 +208,7 @@ def write_sample_shard(path: str | Path, samples) -> int:
         "label": label_kind,
         "label_dim": 0 if label_kind != "vector" else int(labels.shape[1]),
     }
-    Path(path).write_bytes(_pack(arrays, "samples", meta, n))
+    _write_atomic(path, _pack(arrays, "samples", meta, n))
     return n
 
 
@@ -217,7 +228,7 @@ def write_prediction_shard(path: str | Path, predictions) -> int:
     )
     arrays = [("node_ids", node_ids), ("scores", scores)]
     meta = {"score_dim": int(dim)}
-    Path(path).write_bytes(_pack(arrays, "predictions", meta, n))
+    _write_atomic(path, _pack(arrays, "predictions", meta, n))
     return n
 
 

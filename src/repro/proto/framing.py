@@ -48,6 +48,7 @@ __all__ = [
     "decode_edge_fields",
     "decode_value",
     "encode_edge_fields",
+    "encode_list_payload",
     "encode_value",
     "iter_frames",
     "read_stream_header",
@@ -185,6 +186,23 @@ def encode_value(value) -> bytes:
     """Encode one shuffle value to its binary wire form."""
     out = bytearray()
     _encode(value, out)
+    return bytes(out)
+
+
+def encode_list_payload(items: list[bytes]) -> bytes:
+    """Assemble a list frame from *already encoded* item bodies.
+
+    Byte-identical to ``encode_value(list_of_values)`` when each entry of
+    ``items`` is ``encode_value(value)`` — this is what lets a spill writer
+    buffer per-record encodings (exact byte accounting, map-side combine on
+    encoded records) and still flush the same frames an eager
+    ``encode_value`` would have produced.
+    """
+    out = bytearray()
+    out.append(_T_LIST)
+    out += encode_unsigned(len(items))
+    for item in items:
+        out += item
     return bytes(out)
 
 

@@ -291,19 +291,19 @@ class TestSpill:
         assert res0.counts == [1, 0, 2]
         assert res1.counts == [1, 1, 0]
         assert res0.bytes_written > 0 and res1.bytes_written > 0
-        # empty buckets produce no file
+        # empty buckets produce no file; eager writes are a single run 0
         names = sorted(p.name for p in tmp_path.glob(f"*.{ext}"))
         assert names == [
-            f"job.m00000.p00000.{ext}",
-            f"job.m00000.p00002.{ext}",
-            f"job.m00001.p00000.{ext}",
-            f"job.m00001.p00001.{ext}",
+            f"job.m00000.p00000.r00000.{ext}",
+            f"job.m00000.p00002.r00000.{ext}",
+            f"job.m00001.p00000.r00000.{ext}",
+            f"job.m00001.p00001.r00000.{ext}",
         ]
         # reduce-side merge: key-sorted, ties in map-task order (exactly the
         # stable sort of the in-memory shuffle's concatenation order)
-        assert layout.read_partition(0, num_map_tasks=2) == [("a", 1), ("a", 9)]
-        assert layout.read_partition(1, num_map_tasks=2) == [("b", 2)]
-        assert layout.read_partition(2, num_map_tasks=2) == [("c", 3), ("c", 4)]
+        assert list(layout.iter_partition(0, num_map_tasks=2)) == [("a", 1), ("a", 9)]
+        assert list(layout.iter_partition(1, num_map_tasks=2)) == [("b", 2)]
+        assert list(layout.iter_partition(2, num_map_tasks=2)) == [("c", 3), ("c", 4)]
         assert list(layout.iter_groups(2, num_map_tasks=2)) == [("c", [3, 4])]
         layout.cleanup(num_map_tasks=2)
         assert not list(tmp_path.glob(f"*.{ext}"))
@@ -357,7 +357,7 @@ class TestSpill:
         assert len(head) == 100
         assert sum(consumed.values()) <= bound
         # sanity: a full drain still yields every record
-        everything = layout.read_partition(0, num_map_tasks=3)
+        everything = list(layout.iter_partition(0, num_map_tasks=3))
         assert len(everything) == 3 * per_task
         assert all(v == payload for _, v in everything[:50])
 
@@ -444,12 +444,17 @@ class TestParentSidePartitioning:
 
     def test_failed_parent_spill_leaves_no_files(self, tmp_path):
         """An encode failure mid parent-side spill must still clean up its
-        run directory (including any .tmp partial)."""
+        run directory (including any .tmp partial); closing the runtime
+        removes the session directory itself."""
         inc = MapReduceJob("inc", _inc_reducer, num_reducers=2)
         runtime = LocalRuntime(spill_dir=tmp_path, shuffle_codec="binary")
         with pytest.raises(TypeError, match="no binary wire form"):
             runtime.run(inc, [(0, 1), (1, object())])  # unencodable value
-        assert not any(tmp_path.rglob("*")), "failed run leaked spill files"
+        assert not any(p for p in tmp_path.rglob("*") if not p.is_dir()), (
+            "failed run leaked spill files"
+        )
+        runtime.close()
+        assert not any(tmp_path.rglob("*")), "close leaked the session dir"
 
     def test_chained_rounds_first_round_parent_partitioned(self, tmp_path):
         inc = MapReduceJob("inc", _inc_reducer, num_reducers=2)

@@ -161,7 +161,8 @@ class TestSlabBroadcast:
     def test_attach_cache_bounded(self):
         from repro.ps import shm as shm_mod
 
-        broadcasts = [shm_mod.SlabBroadcast([small_state(i)]) for i in range(6)]
+        count = shm_mod._ATTACH_CACHE_MAX + 2
+        broadcasts = [shm_mod.SlabBroadcast([small_state(i)]) for i in range(count)]
         try:
             for bc in broadcasts:
                 bc.slice(0).state()
