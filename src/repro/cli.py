@@ -81,6 +81,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="spill record encoding: flat binary records (default; faster, "
         "smaller, byte-identical output) or per-record pickles",
     )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempt budget per map/reduce task before the job fails",
+    )
+    parser.add_argument(
+        "--task-timeout", dest="task_timeout_s", type=float, default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline: an attempt running longer is discarded "
+        "(worker pool killed under the processes backend) and retried",
+    )
+    parser.add_argument(
+        "--speculation-factor", type=float, default=None, metavar="FACTOR",
+        help="straggler speculation (processes backend): a task running "
+        "longer than FACTOR x the phase's median completed duration races "
+        "a duplicate attempt; first completion wins",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -170,6 +186,29 @@ def _print_shuffle_summary(round_stats, codec: str) -> None:
         )
 
 
+def _print_fault_summary(round_stats) -> None:
+    """One line of fault-tolerance accounting: how many attempts the run
+    actually took, and what the chaos plane (deadlines, speculation,
+    backoff) did about the slow and broken ones."""
+    attempts = sum(rs.map_attempts + rs.reduce_attempts for rs in round_stats)
+    injected = sum(rs.injected_failures for rs in round_stats)
+    timeouts = sum(rs.timeouts for rs in round_stats)
+    launched = sum(rs.speculative_launched for rs in round_stats)
+    won = sum(rs.speculative_won for rs in round_stats)
+    backoff = sum(rs.backoff_total_s for rs in round_stats)
+    extras = []
+    if injected:
+        extras.append(f"{injected} injected failures")
+    if timeouts:
+        extras.append(f"{timeouts} timeouts")
+    if launched:
+        extras.append(f"speculative duplicates {won}/{launched} won")
+    if backoff:
+        extras.append(f"{backoff:.2f}s retry backoff")
+    detail = ", ".join(extras) if extras else "no faults"
+    print(f"fault tolerance: {attempts} task attempts ({detail})")
+
+
 def _cmd_graphflat(args) -> int:
     nodes = read_node_table(args.node_table)
     edges = read_edge_table(args.edge_table)
@@ -189,6 +228,9 @@ def _cmd_graphflat(args) -> int:
         shuffle_codec=args.shuffle_codec,
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
+        max_attempts=args.max_attempts,
+        task_timeout_s=args.task_timeout_s,
+        speculation_factor=args.speculation_factor,
     )
     fs = DistFileSystem(args.dfs)
     # The config owns the runtime (graph_flat builds and closes it).
@@ -200,6 +242,7 @@ def _cmd_graphflat(args) -> int:
         f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
     )
     _print_shuffle_summary(result.round_stats, args.shuffle_codec)
+    _print_fault_summary(result.round_stats)
     return 0
 
 
@@ -361,6 +404,9 @@ def _cmd_graphinfer(args) -> int:
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
         slice_transport=args.slice_transport,
+        max_attempts=args.max_attempts,
+        task_timeout_s=args.task_timeout_s,
+        speculation_factor=args.speculation_factor,
     )
     targets = None
     if args.targets:
@@ -376,6 +422,7 @@ def _cmd_graphinfer(args) -> int:
         f"{args.dfs}/{args.output}"
     )
     _print_shuffle_summary(result.round_stats, args.shuffle_codec)
+    _print_fault_summary(result.round_stats)
     return 0
 
 

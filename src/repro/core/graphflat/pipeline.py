@@ -107,6 +107,16 @@ class GraphFlatConfig:
     sorted run is flushed (see ``repro.mapreduce.spill.SpillRunWriter``)."""
     spill_run_bytes: int = DEFAULT_RUN_BYTES
     """External-sort run bound in encoded bytes (binary codec only)."""
+    max_attempts: int = 3
+    """Attempt budget per MapReduce task before the job fails."""
+    task_timeout_s: float | None = None
+    """Per-attempt deadline: an attempt running longer is discarded (pool
+    kill under ``processes``, cooperative check elsewhere) and retried as a
+    :class:`~repro.mapreduce.fault.TaskTimeoutError`.  ``None`` = none."""
+    speculation_factor: float | None = None
+    """Straggler speculation (processes backend): a task running longer
+    than this factor x the phase's median completed duration races a
+    duplicate attempt; first completion wins.  ``None`` = off."""
 
     def __post_init__(self):
         if self.hops < 1:
@@ -122,10 +132,13 @@ class GraphFlatConfig:
         return LocalRuntime(
             backend=self.backend,
             max_workers=self.num_workers,
+            max_attempts=self.max_attempts,
             spill_dir=self.spill_dir,
             shuffle_codec=self.shuffle_codec,
             spill_run_records=self.spill_run_records,
             spill_run_bytes=self.spill_run_bytes,
+            task_timeout_s=self.task_timeout_s,
+            speculation_factor=self.speculation_factor,
         )
 
 

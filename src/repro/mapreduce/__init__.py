@@ -26,7 +26,14 @@ from repro.mapreduce.backends import (
 )
 from repro.mapreduce.job import Combiner, JobFailedError, MapReduceJob, SumCombiner
 from repro.mapreduce.runtime import LocalRuntime, RunStats
-from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
+from repro.mapreduce.fault import (
+    FAULT_KINDS,
+    FailureInjector,
+    FaultPlan,
+    InjectedWorkerFailure,
+    TaskTimeoutError,
+)
+from repro.mapreduce.retry import PhaseMonitor, RetryPolicy
 from repro.mapreduce.fs import DistFileSystem
 from repro.mapreduce.shuffle import decode_key, default_partition, key_bytes
 from repro.mapreduce.spill import SPILL_CODECS, SpillLayout, SpillWriteResult
@@ -40,8 +47,13 @@ __all__ = [
     "JobFailedError",
     "LocalRuntime",
     "RunStats",
+    "FAULT_KINDS",
     "FailureInjector",
+    "FaultPlan",
     "InjectedWorkerFailure",
+    "PhaseMonitor",
+    "RetryPolicy",
+    "TaskTimeoutError",
     "WorkerCrashError",
     "DistFileSystem",
     "SPILL_CODECS",

@@ -1,0 +1,146 @@
+"""Retry policy and straggler speculation for the MapReduce runtime.
+
+:class:`RetryPolicy` is the runtime's answer to "which failures get the
+MapReduce treatment, how many times, and how fast": a bounded attempt
+budget, a *set* of retryable exception types (everything else propagates
+immediately — a reducer bug should fail the job, not burn attempts), and a
+deterministic seeded exponential backoff with jitter.  Determinism matters
+for the same reason it does in the fault plan: a retried schedule must be
+reproducible, so backoff draws are keyed by ``(job, task, attempt)``, not
+by a shared mutable RNG whose state depends on execution order.
+
+:class:`PhaseMonitor` tracks completed-attempt durations within one
+map/reduce phase so the processes backend can spot stragglers: a task
+running longer than ``speculation_factor x`` the phase's median completed
+duration gets a duplicate attempt launched, and the first completion wins.
+Safe because attempts are deterministic (both copies produce identical
+output and spill writes are atomic + idempotent), so it does not matter
+which copy's result is used.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from statistics import median
+
+from repro.mapreduce.fault import (
+    InjectedWorkerFailure,
+    TaskTimeoutError,
+    _uniform,
+)
+from repro.proto.framing import FrameCorruptionError
+
+__all__ = ["RetryPolicy", "PhaseMonitor", "default_retryable"]
+
+
+def default_retryable() -> tuple[type[BaseException], ...]:
+    """The failures MapReduce re-execution is *designed* to absorb: injected
+    crashes, dead worker processes, overrun deadlines, and corrupted spill
+    runs detected by the frame CRC.  (``WorkerCrashError`` is resolved
+    lazily to keep this module import-light for the backends layer.)"""
+    from repro.mapreduce.backends import WorkerCrashError
+
+    return (
+        InjectedWorkerFailure,
+        WorkerCrashError,
+        TaskTimeoutError,
+        FrameCorruptionError,
+    )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the runtime's attempt loop behaves.
+
+    ``backoff_base_s=0`` (the default) disables sleeping entirely — local
+    retries of deterministic tasks rarely benefit from waiting, and tests
+    stay fast.  With a base, attempt ``n``'s delay is ``min(cap, base *
+    2**n)`` scaled by a deterministic jitter draw in ``[1 - jitter, 1)``.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.0
+    backoff_cap_s: float = 30.0
+    jitter: float = 0.5
+    seed: int = 0
+    retryable: tuple[type[BaseException], ...] = field(default_factory=tuple)
+    """Empty means :func:`default_retryable`."""
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def retryable_types(self) -> tuple[type[BaseException], ...]:
+        return self.retryable or default_retryable()
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retryable_types())
+
+    def backoff_s(self, job_name: str, task_id: str, attempt: int) -> float:
+        """Delay before re-running ``task_id`` after failed attempt
+        ``attempt`` — deterministic for a given (seed, job, task, attempt)."""
+        if self.backoff_base_s <= 0.0:
+            return 0.0
+        delay = min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+        if self.jitter > 0.0:
+            u = _uniform(self.seed, f"backoff|{job_name}|{task_id}|{attempt}")
+            delay *= 1.0 - self.jitter * u
+        return delay
+
+
+class PhaseMonitor:
+    """Shared straggler detector for one execution phase.
+
+    Coordinator threads record completed-attempt durations; a running
+    attempt is a speculation candidate once enough siblings have finished
+    (``min_completed``) and its elapsed time exceeds ``factor x`` the
+    median completed duration (never less than ``min_runtime_s`` — with
+    sub-millisecond medians everything looks like a straggler).  At most
+    one duplicate per attempt; ``launched``/``won`` feed ``RunStats``.
+    """
+
+    def __init__(
+        self,
+        factor: float,
+        min_completed: int = 3,
+        min_runtime_s: float = 0.25,
+    ):
+        if factor <= 1.0:
+            raise ValueError(f"speculation factor must be > 1, got {factor}")
+        self.factor = factor
+        self.min_completed = min_completed
+        self.min_runtime_s = min_runtime_s
+        self.launched = 0
+        self.won = 0
+        self._durations: list[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, duration_s: float) -> None:
+        with self._lock:
+            self._durations.append(duration_s)
+
+    def speculate_after_s(self) -> float | None:
+        """Elapsed seconds after which a running attempt becomes a
+        speculation candidate, or ``None`` while the phase has too few
+        completions to call anything a straggler."""
+        with self._lock:
+            if len(self._durations) < self.min_completed:
+                return None
+            return max(self.factor * median(self._durations), self.min_runtime_s)
+
+    def should_speculate(self, elapsed_s: float) -> bool:
+        threshold = self.speculate_after_s()
+        return threshold is not None and elapsed_s > threshold
+
+    def count_launch(self) -> None:
+        with self._lock:
+            self.launched += 1
+
+    def count_win(self) -> None:
+        with self._lock:
+            self.won += 1

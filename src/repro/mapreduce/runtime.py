@@ -12,11 +12,20 @@ Backends (see :mod:`repro.mapreduce.backends` for the registry):
 All backends produce position-ordered (task index, not completion order)
 output, so results are byte-identical to the serial backend.
 
-Fault tolerance: each task runs in an attempt loop.  An injected (or real)
-failure — including a crashed worker process — discards the attempt's
+Fault tolerance: each task runs in an attempt loop governed by a
+:class:`~repro.mapreduce.retry.RetryPolicy` — a bounded attempt budget, a
+set of retryable exception types, and deterministic seeded exponential
+backoff.  An injected (or real) failure — a crashed worker process, an
+attempt that overran its ``task_timeout_s`` deadline (cooperative check
+under serial/threads, parent-side pool kill under processes), or a
+corrupted spill run caught by the frame CRC — discards the attempt's
 output and re-executes the task, mirroring MapReduce's re-execution model.
-Because tasks are pure functions of their input partition, retries cannot
-change job output — tests assert this.
+Straggler attempts can additionally race a speculative duplicate
+(``speculation_factor``, processes backend): first completion wins.
+Because tasks are pure functions of their input partition and spill writes
+are atomic and idempotent, retries and duplicates cannot change job output
+— the chaos-matrix tests assert byte-identity under every fault kind of
+:class:`~repro.mapreduce.fault.FaultPlan` on every backend.
 
 Shuffle spill: with ``spill_dir`` set (or always under the ``processes``
 backend, which uses a private temp directory unless told otherwise), each
@@ -55,14 +64,23 @@ import os
 import pickle
 import shutil
 import tempfile
+import time
 import weakref
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.mapreduce.backends import Backend, WorkerCrashError, make_backend
-from repro.mapreduce.fault import FailureInjector, InjectedWorkerFailure
+from repro.mapreduce.backends import AttemptContext, Backend, make_backend
+from repro.mapreduce.fault import (
+    AttemptSpec,
+    FailureInjector,
+    FaultPlan,
+    InjectedWorkerFailure,
+    TaskTimeoutError,
+    maybe_check_deadline,
+)
 from repro.mapreduce.job import Combiner, JobFailedError, MapReduceJob, identity_mapper
+from repro.mapreduce.retry import PhaseMonitor, RetryPolicy
 from repro.mapreduce.shuffle import group_sorted
 from repro.mapreduce.spill import (
     DEFAULT_RUN_BYTES,
@@ -96,6 +114,16 @@ class RunStats:
     map_attempts: int = 0
     reduce_attempts: int = 0
     injected_failures: int = 0
+    timeouts: int = 0
+    """Task attempts that overran ``task_timeout_s`` (cooperative deadline
+    or parent-side pool kill) and were re-executed."""
+    speculative_launched: int = 0
+    """Duplicate attempts launched for straggler tasks this round."""
+    speculative_won: int = 0
+    """Straggler races the duplicate won (its result was used)."""
+    backoff_total_s: float = 0.0
+    """Total retry-backoff sleep this round (deterministic seeded
+    exponential backoff; 0 unless the retry policy sets a base delay)."""
     reducer_group_sizes: dict[int, int] = field(default_factory=dict)
     """partition -> number of (key, values) groups — load-balance evidence."""
     max_group_values: int = 0
@@ -117,11 +145,24 @@ class RunStats:
         self.map_attempts += other.map_attempts
         self.reduce_attempts += other.reduce_attempts
         self.injected_failures += other.injected_failures
+        self.timeouts += other.timeouts
+        self.speculative_launched += other.speculative_launched
+        self.speculative_won += other.speculative_won
+        self.backoff_total_s += other.backoff_total_s
         for partition, groups in other.reducer_group_sizes.items():
             self.reducer_group_sizes[partition] = (
                 self.reducer_group_sizes.get(partition, 0) + groups
             )
         self.max_group_values = max(self.max_group_values, other.max_group_values)
+
+
+@dataclass(frozen=True)
+class _AttemptOutcome:
+    """Per-task fault-tolerance accounting returned by the retry loop."""
+
+    attempts: int
+    timeouts: int = 0
+    backoff_s: float = 0.0
 
 
 def _chunk(seq: list, n: int) -> list[list]:
@@ -257,6 +298,7 @@ def _map_chunk(job: MapReduceJob, chunk: list[tuple]):
     out: list[list[tuple]] = [[] for _ in range(job.num_reducers)]
     mapped = 0
     for key, value in chunk:
+        maybe_check_deadline()
         for out_key, out_value in job.mapper(key, value):
             out[job.partitioner(out_key, job.num_reducers)].append((out_key, out_value))
             mapped += 1
@@ -302,6 +344,7 @@ def _map_task_spill(
     partitioner = job.partitioner
     num = job.num_reducers
     for key, value in chunk:
+        maybe_check_deadline()
         for out_key, out_value in job.mapper(key, value):
             mapped += 1
             writer.append(partitioner(out_key, num), out_key, out_value)
@@ -319,6 +362,7 @@ def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
 
     def produced():
         for key, values in source.groups():
+            maybe_check_deadline()
             counters[1] += 1
             if len(values) > counters[2]:
                 counters[2] = len(values)
@@ -375,6 +419,9 @@ class LocalRuntime:
         shuffle_codec: str = "pickle",
         spill_run_records: int = DEFAULT_RUN_RECORDS,
         spill_run_bytes: int = DEFAULT_RUN_BYTES,
+        task_timeout_s: float | None = None,
+        speculation_factor: float | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -382,10 +429,23 @@ class LocalRuntime:
             raise ValueError(
                 f"unknown shuffle codec {shuffle_codec!r}; known: {SPILL_CODECS}"
             )
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError(f"task_timeout_s must be > 0, got {task_timeout_s}")
+        if speculation_factor is not None and speculation_factor <= 1.0:
+            raise ValueError(
+                f"speculation_factor must be > 1, got {speculation_factor}"
+            )
         self._backend: Backend = make_backend(backend, max_workers)
         self.backend = backend
         self.max_workers = max_workers
-        self.max_attempts = max_attempts
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=max_attempts)
+        )
+        self.max_attempts = self.retry_policy.max_attempts
+        self.task_timeout_s = task_timeout_s
+        self.speculation_factor = speculation_factor
         self.injector = failure_injector
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.shuffle_codec = shuffle_codec
@@ -624,7 +684,7 @@ class LocalRuntime:
                 (f"reduce-{p}", _reduce_task, (job, sources[p], sink, p))
                 for p in range(job.num_reducers)
             ]
-            results = self._execute(job.name, tasks)
+            results = self._execute(job.name, tasks, stats, phase="reduce")
             success = True
         finally:
             if consumed is not None:
@@ -633,9 +693,8 @@ class LocalRuntime:
                 chain.cleanup()
 
         output: list = []
-        for p, ((stored, reduced, groups, biggest), attempts) in enumerate(results):
+        for p, (stored, reduced, groups, biggest) in enumerate(results):
             stats.reduced_records += reduced
-            stats.reduce_attempts += attempts
             stats.reducer_group_sizes[p] = groups
             stats.max_group_values = max(stats.max_group_values, biggest)
             if chain is None:
@@ -657,20 +716,62 @@ class LocalRuntime:
             stats.injected_failures = self.injector.injected - injected_before
         return (chain if chain is not None else output), stats
 
-    def _attempts(self, job_name: str, task_id: str, body):
-        """Run ``body()`` with the retry loop; count attempts via return."""
+    def _attempt_spec(self, fault: str | None) -> AttemptSpec | None:
+        """Worker-side instructions for one attempt; ``None`` when there is
+        nothing to apply (the common case — zero per-attempt overhead)."""
+        if fault is None and self.task_timeout_s is None:
+            return None
+        if isinstance(self.injector, FaultPlan):
+            return self.injector.spec(fault, self.task_timeout_s)
+        return AttemptSpec(fault=fault, timeout_s=self.task_timeout_s)
+
+    def _attempts(self, job_name: str, task_id: str, body, monitor=None):
+        """Run one task under the retry policy; returns ``(result,
+        _AttemptOutcome)``.
+
+        Per attempt: the fault plan draws this attempt's injected fault
+        (``crash`` is raised right here, parent-side, like a worker that
+        died before doing any work; other kinds ship to the worker inside
+        the :class:`AttemptSpec`), the body runs with the attempt context,
+        and a failure is re-executed only if the policy classifies it as
+        retryable — after the policy's deterministic backoff."""
+        policy = self.retry_policy
         last_exc: Exception | None = None
-        for attempt in range(self.max_attempts):
+        timeouts = 0
+        backoff_total = 0.0
+        for attempt in range(policy.max_attempts):
+            fault = None
+            if self.injector is not None:
+                fault = self.injector.draw(job_name, task_id, attempt)
             try:
-                if self.injector is not None:
+                if fault == "crash":
                     # Simulate a crash mid-task: the attempt produces nothing.
-                    self.injector.maybe_fail(job_name, task_id, attempt)
-                return body(), attempt + 1
-            except (InjectedWorkerFailure, WorkerCrashError) as exc:
+                    raise InjectedWorkerFailure(
+                        f"injected failure: job={job_name} task={task_id} "
+                        f"attempt={attempt}"
+                    )
+                ctx = AttemptContext(
+                    spec=self._attempt_spec(fault),
+                    timeout_s=self.task_timeout_s,
+                    monitor=monitor,
+                )
+                start = time.monotonic()
+                result = body(ctx)
+                if monitor is not None:
+                    monitor.record(time.monotonic() - start)
+                return result, _AttemptOutcome(attempt + 1, timeouts, backoff_total)
+            except Exception as exc:
+                if not policy.is_retryable(exc):
+                    raise
                 last_exc = exc
-                continue
+                if isinstance(exc, TaskTimeoutError):
+                    timeouts += 1
+                delay = policy.backoff_s(job_name, task_id, attempt)
+                if delay > 0.0:
+                    time.sleep(delay)
+                    backoff_total += delay
         raise JobFailedError(
-            f"task {task_id} of job {job_name!r} failed {self.max_attempts} attempts"
+            f"task {task_id} of job {job_name!r} failed {policy.max_attempts} attempts"
         ) from last_exc
 
     def _map_phase(self, job: MapReduceJob, pairs, stats: RunStats, layout):
@@ -689,20 +790,35 @@ class LocalRuntime:
                 )
                 for i, chunk in enumerate(chunks)
             ]
-        results = self._execute(job.name, tasks)
+        results = self._execute(job.name, tasks, stats, phase="map")
         map_outputs = []
-        for (out, mapped, combined), attempts in results:
+        for out, mapped, combined in results:
             map_outputs.append(out)
             stats.mapped_records += mapped
             stats.combined_records += combined
-            stats.map_attempts += attempts
         return map_outputs
 
-    def _execute(self, job_name: str, tasks: list[tuple]):
+    def _execute(self, job_name: str, tasks: list[tuple], stats: RunStats, phase: str):
         """Run ``(task_id, fn, args)`` tasks on the backend under the retry
-        loop; results come back position-ordered."""
+        loop; results come back position-ordered.  Attempt, timeout,
+        backoff and speculation accounting folds into ``stats``."""
+        monitor = None
+        if self.speculation_factor is not None and self._backend.supports_speculation:
+            monitor = PhaseMonitor(self.speculation_factor)
 
         def retrier(task_id: str, call):
-            return self._attempts(job_name, task_id, call)
+            return self._attempts(job_name, task_id, call, monitor)
 
-        return self._backend.execute(tasks, retrier)
+        results = self._backend.execute(tasks, retrier)
+        attempts_total = sum(outcome.attempts for _, outcome in results)
+        if phase == "map":
+            stats.map_attempts += attempts_total
+        else:
+            stats.reduce_attempts += attempts_total
+        for _, outcome in results:
+            stats.timeouts += outcome.timeouts
+            stats.backoff_total_s += outcome.backoff_s
+        if monitor is not None:
+            stats.speculative_launched += monitor.launched
+            stats.speculative_won += monitor.won
+        return [result for result, _ in results]

@@ -46,11 +46,14 @@ glob-removes orphaned ``.tmp*`` files from attempts that died mid-write.
 from __future__ import annotations
 
 import heapq
+import io
 import os
 import pickle
 from dataclasses import dataclass
 from operator import itemgetter
 from pathlib import Path
+
+from repro.mapreduce.fault import take_read_fault
 
 from repro.proto.framing import (
     FrameCorruptionError,
@@ -86,8 +89,35 @@ DEFAULT_RUN_RECORDS = 1 << 16
 """Run bound by record count — caps buffered *objects* for both codecs."""
 
 DEFAULT_RUN_BYTES = 32 << 20
-"""Run bound by encoded payload bytes (binary codec only, where per-record
-encodings are produced at append time and byte accounting is exact)."""
+"""Run bound by encoded bytes (binary codec only, where per-record
+encodings are produced at append time): payloads plus each frame's key
+and fixed framing overhead, approximating the run's size on disk."""
+
+
+_STREAM_HEADER_BYTES = 6  # AGLS magic + version + codec id
+
+_FRAME_FIXED_BYTES = 8
+"""Approximate per-frame overhead beyond key and payload: two length
+varints (1-2 bytes each for typical frames) plus the 4-byte CRC trailer.
+Used by the run writer's byte budget so flushes track file bytes."""
+
+
+def _damage(data: bytes, kind: str) -> bytes:
+    """In-memory injury of one spill file's bytes for the read faults.
+
+    ``truncate-run`` chops the tail mid-CRC (the trailer is the last four
+    bytes of every frame, so any short chop is guaranteed detectable);
+    ``corrupt-run`` flips a byte in the middle of the frame region, which
+    the per-frame CRC32 — covering key and payload — catches.  The header
+    is left intact: the point is a *frame* integrity failure, not a codec
+    mismatch."""
+    if kind == "truncate-run" and len(data) > _STREAM_HEADER_BYTES + 3:
+        return data[:-3]
+    injured = bytearray(data)
+    body = len(injured) - _STREAM_HEADER_BYTES
+    if body > 0:
+        injured[_STREAM_HEADER_BYTES + body // 2] ^= 0xFF
+    return bytes(injured)
 
 
 @dataclass(frozen=True)
@@ -214,8 +244,17 @@ class SpillLayout:
 
     def _iter_file(self, path: Path):
         """Yield ``(key_bytes, values)`` run frames from one spill file,
-        streamed through a bounded buffer."""
+        streamed through a bounded buffer.
+
+        An armed read fault (the ``corrupt-run``/``truncate-run`` kinds of
+        :class:`~repro.mapreduce.fault.FaultPlan`) damages this attempt's
+        *view* of the first file it opens — never the bytes on disk — so
+        the frame CRC machinery fails the attempt loudly and its retry,
+        reading the intact file, reproduces byte-identical output."""
+        fault = take_read_fault()
         with open(path, "rb", buffering=_READ_BUFFER_BYTES) as fh:
+            if fault is not None:
+                fh = io.BytesIO(_damage(fh.read(), fault))
             codec_id = read_stream_header(fh)
             if codec_id != _CODEC_IDS[self.codec]:
                 raise ValueError(
@@ -340,6 +379,11 @@ class SpillRunWriter:
         entry = buffer.get(kb)
         if entry is None:
             buffer[kb] = (key, [value])
+            if self._binary:
+                # A new key means a new frame at flush time: account its
+                # fixed cost (key bytes, length varints, CRC trailer) so
+                # the byte budget tracks file bytes, not just payloads.
+                self._pending_bytes += len(kb) + _FRAME_FIXED_BYTES
         else:
             entry[1].append(value)
         self._pending_records += 1

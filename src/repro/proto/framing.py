@@ -20,11 +20,16 @@ Two layers:
   the modules that *define* a record register its wire form.
 
 * **Frame streams** — a spill file is ``AGLS | version | codec-id`` followed
-  by ``varint(len(key)) key varint(len(payload)) payload`` frames.  The key
-  is stored as its canonical shuffle encoding (``repro.mapreduce.shuffle.
-  key_bytes``), so reduce-side merge can order records without decoding
-  payloads, and :func:`iter_frames` reads through a bounded buffer — peak
-  memory is one frame, not one partition.
+  by ``varint(len(key)) key varint(len(payload)) payload crc32`` frames.
+  The key is stored as its canonical shuffle encoding
+  (``repro.mapreduce.shuffle.key_bytes``), so reduce-side merge can order
+  records without decoding payloads, and :func:`iter_frames` reads through a
+  bounded buffer — peak memory is one frame, not one partition.  The
+  trailing CRC32 covers key *and* payload (a flipped key byte would silently
+  regroup records) and is verified on every read, so a corrupted or
+  truncated run surfaces as :class:`FrameCorruptionError` during the k-way
+  merge instead of mis-grouped reducer input — the runtime treats it as
+  retryable and re-executes the reading attempt.
 
 Round-trip fidelity is the contract: ``decode(encode(x))`` must reproduce
 ``x`` exactly (dtypes, dict insertion order inside records, float bits), so
@@ -35,6 +40,7 @@ or binary records — tests assert this for the full pipelines.
 from __future__ import annotations
 
 import struct
+import zlib
 from collections.abc import Callable
 from typing import NamedTuple
 
@@ -295,7 +301,8 @@ def decode_edge_fields(buf: memoryview, offset: int):
 
 # ------------------------------------------------------------- frame streams
 STREAM_MAGIC = b"AGLS"
-_STREAM_VERSION = 1
+_STREAM_VERSION = 2  # v2: per-frame CRC32 trailer over key + payload
+_CRC = struct.Struct("<I")
 
 
 def write_stream_header(fh, codec_id: int) -> int:
@@ -316,11 +323,14 @@ def read_stream_header(fh) -> int:
 
 
 def write_frame(fh, key: bytes, payload: bytes) -> int:
-    """Append one ``key``/``payload`` frame; returns bytes written."""
+    """Append one ``key``/``payload`` frame (CRC32 trailer included);
+    returns bytes written."""
     head = encode_unsigned(len(key)) + key + encode_unsigned(len(payload))
     fh.write(head)
     fh.write(payload)
-    return len(head) + len(payload)
+    crc = zlib.crc32(payload, zlib.crc32(key))
+    fh.write(_CRC.pack(crc))
+    return len(head) + len(payload) + _CRC.size
 
 
 def _read_uvarint(fh) -> int | None:
@@ -346,7 +356,10 @@ def iter_frames(fh):
     """Yield ``(key_bytes, payload)`` frames from an open binary file.
 
     Reads one frame at a time through the file object's buffer — memory is
-    bounded by the largest single record, never by the file size.
+    bounded by the largest single record, never by the file size.  Every
+    frame's CRC32 trailer is verified before the frame is yielded, so a
+    flipped bit anywhere in key or payload (or a truncated tail) raises
+    :class:`FrameCorruptionError` instead of feeding the reducer bad input.
     """
     while True:
         klen = _read_uvarint(fh)
@@ -361,4 +374,14 @@ def iter_frames(fh):
         payload = fh.read(plen)
         if len(payload) != plen:
             raise FrameCorruptionError("truncated frame payload")
+        trailer = fh.read(_CRC.size)
+        if len(trailer) != _CRC.size:
+            raise FrameCorruptionError("truncated frame CRC")
+        expected = _CRC.unpack(trailer)[0]
+        actual = zlib.crc32(payload, zlib.crc32(key))
+        if actual != expected:
+            raise FrameCorruptionError(
+                f"frame CRC mismatch (stored {expected:#010x}, "
+                f"computed {actual:#010x}) — corrupted spill run"
+            )
         yield key, payload

@@ -50,6 +50,7 @@ pickle's memo handles it — the slab carries each distinct buffer once.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import queue as queue_mod
 import threading
@@ -79,7 +80,28 @@ __all__ = [
 _HEADER_INT64S = 8
 _HEADER_BYTES = _HEADER_INT64S * 8
 _ACK_TIMEOUT_S = 120.0
+_ACK_TIMEOUT_ENV = "REPRO_PS_ACK_TIMEOUT_S"
 _POLL_S = 0.2
+
+
+def _resolve_ack_timeout(ack_timeout_s: float | None) -> float:
+    """Ack-timeout precedence: explicit constructor argument, then the
+    ``REPRO_PS_ACK_TIMEOUT_S`` environment variable (operational override —
+    e.g. cranked down in a chaos soak, up on an overloaded CI box), then
+    the 120s default."""
+    if ack_timeout_s is None:
+        raw = os.environ.get(_ACK_TIMEOUT_ENV)
+        if raw is None:
+            return _ACK_TIMEOUT_S
+        try:
+            ack_timeout_s = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{_ACK_TIMEOUT_ENV} must be a number, got {raw!r}"
+            ) from None
+    if ack_timeout_s <= 0:
+        raise ValueError(f"ack timeout must be > 0 seconds, got {ack_timeout_s}")
+    return float(ack_timeout_s)
 
 
 def mp_context():
@@ -447,11 +469,13 @@ class ShmPSClient:
         worker_id: int,
         ctrl,
         ack,
+        ack_timeout_s: float | None = None,
     ):
         self.layout = layout
         self.param_slab = param_slab
         self.grad_slab = grad_slab
         self.worker_id = worker_id
+        self.ack_timeout_s = _resolve_ack_timeout(ack_timeout_s)
         self._ctrl = ctrl
         self._ack = ack
         self._seen_version = -1
@@ -522,11 +546,13 @@ class ShmPSClient:
         unknown = grads.keys() - slab_views.keys()
         if unknown:
             raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
-        self._ctrl.put(("push", self.worker_id, tuple(missing)), timeout=_ACK_TIMEOUT_S)
+        self._ctrl.put(
+            ("push", self.worker_id, tuple(missing)), timeout=self.ack_timeout_s
+        )
         self._await_ack()
 
     def _await_ack(self) -> None:
-        deadline = time.monotonic() + _ACK_TIMEOUT_S
+        deadline = time.monotonic() + self.ack_timeout_s
         while not self._ack.acquire(timeout=_POLL_S):
             parent = mp.parent_process()
             if parent is not None and not parent.is_alive():
@@ -534,7 +560,7 @@ class ShmPSClient:
             if time.monotonic() > deadline:
                 raise RuntimeError(
                     f"worker {self.worker_id}: no ack from the parameter server "
-                    f"within {_ACK_TIMEOUT_S:.0f}s"
+                    f"within {self.ack_timeout_s:.0f}s"
                 )
 
     def finish_epoch(self) -> None:
@@ -545,7 +571,7 @@ class ShmPSClient:
         ``begin_epoch`` barrier reset (messages from different processes
         have no cross-queue ordering guarantee otherwise).
         """
-        self._ctrl.put(("finish", self.worker_id, None), timeout=_ACK_TIMEOUT_S)
+        self._ctrl.put(("finish", self.worker_id, None), timeout=self.ack_timeout_s)
         self._await_ack()
 
     def stats(self) -> dict[str, int]:
@@ -557,10 +583,16 @@ class ShmPSClient:
 
 
 class ShmTransport:
-    """Parent-side owner of the slabs plus the apply/consistency thread."""
+    """Parent-side owner of the slabs plus the apply/consistency thread.
 
-    def __init__(self, group, state: dict[str, np.ndarray]):
+    ``ack_timeout_s`` bounds every ack-style wait on the transport — the
+    workers' push/drain acks and the parent's ``begin_epoch`` barrier
+    re-arm.  ``None`` defers to the ``REPRO_PS_ACK_TIMEOUT_S`` environment
+    variable, then the 120s default."""
+
+    def __init__(self, group, state: dict[str, np.ndarray], ack_timeout_s: float | None = None):
         self.group = group
+        self.ack_timeout_s = _resolve_ack_timeout(ack_timeout_s)
         self.layout = StateLayout.from_state(state)
         self.ctx = mp_context()
         size = self.layout.total_size
@@ -642,6 +674,7 @@ class ShmTransport:
                 worker_id,
                 self._ctrl,
                 self._acks[worker_id],
+                ack_timeout_s=self.ack_timeout_s,
             )
             # In-parent use (thread workers, evaluation) borrows this
             # process's existing mappings instead of re-attaching — the
@@ -662,7 +695,7 @@ class ShmTransport:
         end-of-epoch drain is ordered strictly before it."""
         self._epoch_armed.clear()
         self._local_ctrl.append(("begin_epoch", -1, None))
-        if not self._epoch_armed.wait(timeout=_ACK_TIMEOUT_S):
+        if not self._epoch_armed.wait(timeout=self.ack_timeout_s):
             raise RuntimeError("parameter-server thread did not re-arm the epoch")
 
     def finish_worker(self, worker_id: int) -> None:
