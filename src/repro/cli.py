@@ -31,7 +31,7 @@ from repro.core.trainer import (
 )
 from repro.datasets.io import read_edge_table, read_node_table
 from repro.core.infer.pipeline import SLICE_TRANSPORTS
-from repro.mapreduce import BACKEND_REGISTRY, DistFileSystem
+from repro.mapreduce import BACKEND_REGISTRY, PARTITIONERS, DistFileSystem
 from repro.mapreduce.fs import DATASET_LAYOUTS
 from repro.nn.gnn import MODEL_REGISTRY, build_model
 from repro.proto.codec import decode_prediction
@@ -184,6 +184,28 @@ def _print_shuffle_summary(round_stats, codec: str) -> None:
             f"shuffle: {records} records (in-memory, {len(round_stats)} "
             f"rounds{detail})"
         )
+    _print_skew_summary(round_stats)
+
+
+def _print_skew_summary(round_stats) -> None:
+    """Reducer balance: skew factor = max partition load / mean partition
+    load, so 1.0 is perfectly balanced and N means one reducer carried the
+    whole round.  Reported per worst round — a single hot reducer gates the
+    round's wall clock no matter how idle the rest are."""
+    rec_skews = [rs.records_skew() for rs in round_stats]
+    if not any(rec_skews):
+        return  # single-partition rounds only: skew is not meaningful
+    byte_skews = [rs.bytes_skew() for rs in round_stats]
+    worst = max(range(len(rec_skews)), key=lambda i: rec_skews[i])
+    populated = [s for s in rec_skews if s]
+    mean_rec = sum(populated) / len(populated)
+    byte_part = ""
+    if any(byte_skews):
+        byte_part = f", bytes x{byte_skews[worst]:.2f} in worst round"
+    print(
+        f"partition skew: records x{rec_skews[worst]:.2f} worst round "
+        f"(round {worst}), x{mean_rec:.2f} mean{byte_part}"
+    )
 
 
 def _print_fault_summary(round_stats) -> None:
@@ -226,6 +248,7 @@ def _cmd_graphflat(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        partitioner=args.partitioner,
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
         max_attempts=args.max_attempts,
@@ -401,6 +424,7 @@ def _cmd_graphinfer(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        partitioner=args.partitioner,
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
         slice_transport=args.slice_transport,
@@ -455,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
         "partition straight to its own columnar shard (constant parent "
         "memory), 'parent' collects and re-shards centrally; 'auto' picks "
         "reducer for columnar output",
+    )
+    flat.add_argument(
+        "--partitioner", choices=PARTITIONERS, default="hash",
+        help="shuffle partition strategy: 'hash' (crc32 of the key) or "
+        "'planned' (degree-aware plan that spreads heavy keys across "
+        "reducers; output stays byte-identical to hash)",
     )
     _add_common(flat)
     flat.set_defaults(func=_cmd_graphflat)
@@ -527,6 +557,12 @@ def build_parser() -> argparse.ArgumentParser:
         "into a shared-memory slab (zero parameter bytes per task), "
         "'pickle' embeds them in every pickled reducer; 'auto' picks shm "
         "under the processes backend",
+    )
+    infer.add_argument(
+        "--partitioner", choices=PARTITIONERS, default="hash",
+        help="shuffle partition strategy: 'hash' (crc32 of the key) or "
+        "'planned' (degree-aware plan that spreads heavy keys across "
+        "reducers; output stays byte-identical to hash)",
     )
     _add_common(infer)
     infer.set_defaults(func=_cmd_graphinfer)

@@ -41,6 +41,7 @@ from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
 from repro.mapreduce.job import MapReduceJob, SumCombiner
+from repro.mapreduce.partition import PARTITIONERS, PartitionPlan, plan_partitions, publish_plan
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.spill import DEFAULT_RUN_BYTES, DEFAULT_RUN_RECORDS
 from repro.proto.codec import encode_sample
@@ -54,6 +55,7 @@ __all__ = [
     "PartialReducer",
     "PrepareReducer",
     "SampleShardSink",
+    "build_partition_plan",
     "graph_flat",
 ]
 
@@ -86,6 +88,15 @@ class GraphFlatConfig:
     """Spill record encoding: ``binary`` (flat SubgraphInfo/edge records
     instead of pickled object graphs — the default; output is byte-identical
     to ``pickle``, tested) or ``pickle``."""
+    partitioner: str = "hash"
+    """Shuffle partition function for the intermediate rounds: ``hash``
+    (crc32 of the key, the classic default) or ``planned`` (degree-aware
+    greedy bin-packing built from the degree job's output — heavy keys get
+    explicit placements, the light tail keeps hashing; see
+    ``repro.mapreduce.partition``).  The *final* round always partitions by
+    hash: output record order is partition-major, so pinning the last
+    round's placement is what keeps pipeline output byte-identical across
+    partitioners (tested)."""
     dataset_layout: str = "columnar"
     """DFS shard layout for the output dataset: ``columnar`` (mmap-able
     stacked matrices that GraphTrainer slices batches from — the default;
@@ -127,6 +138,8 @@ class GraphFlatConfig:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
         if self.dataset_sink not in DATASET_SINKS:
             raise ValueError(f"dataset_sink must be one of {DATASET_SINKS}")
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(f"partitioner must be one of {PARTITIONERS}")
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -202,6 +215,54 @@ def _degree_job(num_reducers: int) -> MapReduceJob:
     )
 
 
+def build_partition_plan(
+    degree_pairs,
+    hubs: frozenset[int],
+    fanout: int,
+    reindex_active: bool,
+    num_reducers: int,
+) -> PartitionPlan:
+    """Degree-aware placement plan covering every intermediate round's key
+    forms (GraphFlat and GraphInfer share them).
+
+    A node's expected shuffle load is its in-degree — the number of ``in``
+    records propagated to it each round, known before any round runs
+    because the degree job already counted it.  Per node of in-degree
+    ``deg``, the weighted key set is:
+
+    * reindex off — the plain int key at weight ``deg`` (both the merge
+      rounds' routing and the no-hub case).
+    * reindex on, non-hub — ``(node, 0)`` at ``deg`` (routing into the
+      re-index rounds, where in-records pass through unsampled) and the
+      plain int at ``deg`` (routing into the merge rounds, whose keys are
+      inverted back to plain ids).
+    * reindex on, hub — each slice key ``(node, 1+s)`` at ``deg / fanout``
+      (the split the re-indexing performs), ``(node, 0)`` at ~2 (self +
+      out records only), and the plain int at ``2 + fanout`` (post-sampling
+      partials).
+
+    :func:`~repro.mapreduce.partition.plan_partitions` then LPT-packs the
+    heavy head of that set; everything else keeps hashing."""
+
+    def weighted():
+        for node, deg in degree_pairs:
+            node = int(node)
+            deg = float(deg)
+            if not reindex_active:
+                yield node, deg
+            elif node in hubs:
+                share = deg / fanout
+                for s in range(1, fanout + 1):
+                    yield (node, s), share
+                yield (node, 0), 2.0
+                yield node, 2.0 + fanout
+            else:
+                yield (node, 0), deg
+                yield node, deg
+
+    return plan_partitions(weighted(), num_reducers)
+
+
 def graph_flat(
     nodes: NodeTable,
     edges: EdgeTable,
@@ -269,83 +330,109 @@ def _graph_flat(
     hubs = frozenset(int(v) for v, deg in degree_pairs if deg > config.hub_threshold)
     reindex_active = bool(hubs)
 
-    # ---- Map phase ("runs only once at the beginning", §3.2.1) followed by
-    # K Reduce rounds, submitted as one chained sequence: every round is
-    # reduce-only, so the runtime hands partitions reducer-to-reducer and
-    # intermediate state never funnels through this process.
-    node_rows = [(int(i), ("node", feat)) for i, feat, _ in nodes.rows()]
-    jobs = [
-        MapReduceJob(
-            "graphflat-map",
-            PrepareReducer(hubs, config.reindex_fanout, reindex_active),
-            num_reducers=config.num_reducers,
+    # ---- degree-aware placement plan (tentpole of the pluggable
+    # partitioner): built from the degree job's output the pipeline already
+    # ran for hub detection, broadcast once (shared memory under pickling
+    # backends), applied to every intermediate round below.
+    partition_broadcast = None
+    planned = None
+    if config.partitioner == "planned":
+        plan = build_partition_plan(
+            degree_pairs, hubs, config.reindex_fanout, reindex_active,
+            config.num_reducers,
         )
-    ]
-    for k in range(1, config.hops + 1):
-        if reindex_active:
+        partition_broadcast, planned = publish_plan(plan, runtime.needs_pickling)
+    try:
+        # ---- Map phase ("runs only once at the beginning", §3.2.1) followed
+        # by K Reduce rounds, submitted as one chained sequence: every round
+        # is reduce-only, so the runtime hands partitions reducer-to-reducer
+        # and intermediate state never funnels through this process.
+        node_rows = [(int(i), ("node", feat)) for i, feat, _ in nodes.rows()]
+        jobs = [
+            MapReduceJob(
+                "graphflat-map",
+                PrepareReducer(hubs, config.reindex_fanout, reindex_active),
+                num_reducers=config.num_reducers,
+            )
+        ]
+        for k in range(1, config.hops + 1):
+            if reindex_active:
+                jobs.append(
+                    MapReduceJob(
+                        f"graphflat-reduce{k}-reindex",
+                        PartialReducer(sampler, k, config.reindex_fanout),
+                        num_reducers=config.num_reducers,
+                    )
+                )
             jobs.append(
                 MapReduceJob(
-                    f"graphflat-reduce{k}-reindex",
-                    PartialReducer(sampler, k, config.reindex_fanout),
+                    f"graphflat-reduce{k}",
+                    MergeReducer(
+                        sampler,
+                        k,
+                        config.hops,
+                        hubs,
+                        config.reindex_fanout,
+                        reindex_active,
+                        None if target_set is None else frozenset(target_set),
+                    ),
                     num_reducers=config.num_reducers,
                 )
             )
-        jobs.append(
-            MapReduceJob(
-                f"graphflat-reduce{k}",
-                MergeReducer(
-                    sampler,
-                    k,
-                    config.hops,
-                    hubs,
-                    config.reindex_fanout,
-                    reindex_active,
-                    None if target_set is None else frozenset(target_set),
-                ),
-                num_reducers=config.num_reducers,
+        if planned is not None:
+            # Intermediate rounds get planned placement; the *final* round
+            # keeps the hash default: output record order is partition-major
+            # and reducer-sink shards are per-partition, so pinning the last
+            # round's placement is the planner's determinism contract —
+            # pipeline output stays byte-identical across partitioners.
+            for job in jobs[:-1]:
+                job.partitioner = planned
+        sink_mode = config.dataset_sink
+        if sink_mode == "auto":
+            sink_mode = (
+                "reducer"
+                if fs is not None and config.dataset_layout == "columnar"
+                else "parent"
             )
-        )
-    sink_mode = config.dataset_sink
-    if sink_mode == "auto":
-        sink_mode = (
-            "reducer"
-            if fs is not None and config.dataset_layout == "columnar"
-            else "parent"
-        )
-    elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
-        raise ValueError(
-            "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
-        )
+        elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
+            raise ValueError(
+                "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
+            )
 
-    if sink_mode == "reducer":
-        # ---- Storing, reducer-owned: each final-round reducer writes its
-        # own AGLC shard straight into the (pre-cleared) dataset directory;
-        # sample triples never travel through this process.  Shard order =
-        # partition order and keys are sorted within a partition, so the
-        # global record stream matches the parent-side write exactly.
-        directory = fs.prepare_dataset(dataset_name)
-        sink = SampleShardSink(str(directory), _LabelTable.from_nodes(nodes))
-        summaries = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
-        round_stats = degree_stats + list(runtime.round_stats)
-        counts = [count for count, _, _ in summaries]
-        fs.finalize_dataset(
-            dataset_name, layout="columnar", kind="samples", record_counts=counts
-        )
-        return GraphFlatResult(
-            num_targets=sum(counts),
-            hops=config.hops,
-            dataset=dataset_name,
-            hub_nodes=sorted(hubs),
-            round_stats=round_stats,
-            neighborhood_nodes=np.asarray(
-                [n for _, n_nodes, _ in summaries for n in n_nodes], dtype=np.int64
-            ),
-            neighborhood_edges=np.asarray(
-                [n for _, _, n_edges in summaries for n in n_edges], dtype=np.int64
-            ),
-        )
+        if sink_mode == "reducer":
+            # ---- Storing, reducer-owned: each final-round reducer writes
+            # its own AGLC shard straight into the (pre-cleared) dataset
+            # directory; sample triples never travel through this process.
+            # Shard order = partition order and keys are sorted within a
+            # partition, so the global record stream matches the parent-side
+            # write exactly.
+            directory = fs.prepare_dataset(dataset_name)
+            sink = SampleShardSink(str(directory), _LabelTable.from_nodes(nodes))
+            summaries = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
+            round_stats = degree_stats + list(runtime.round_stats)
+            counts = [count for count, _, _ in summaries]
+            fs.finalize_dataset(
+                dataset_name, layout="columnar", kind="samples", record_counts=counts
+            )
+            return GraphFlatResult(
+                num_targets=sum(counts),
+                hops=config.hops,
+                dataset=dataset_name,
+                hub_nodes=sorted(hubs),
+                round_stats=round_stats,
+                neighborhood_nodes=np.asarray(
+                    [n for _, n_nodes, _ in summaries for n in n_nodes], dtype=np.int64
+                ),
+                neighborhood_edges=np.asarray(
+                    [n for _, _, n_edges in summaries for n in n_edges], dtype=np.int64
+                ),
+            )
 
-    data = runtime.run_rounds(jobs, node_rows + edge_rows)
+        data = runtime.run_rounds(jobs, node_rows + edge_rows)
+    finally:
+        # Single unlink point for the plan slab — covers failed rounds too.
+        if partition_broadcast is not None:
+            partition_broadcast.close()
     # Degree-job stats included: the CLI/bench shuffle accounting must cover
     # every round the pipeline actually ran.
     round_stats: list[RunStats] = degree_stats + list(runtime.round_stats)

@@ -5,6 +5,12 @@ strategies (e.g., uniform sampling, weighted sampling), to reduce the scale
 of the k-hop neighborhoods, especially for those hub nodes."
 
 Strategies select at most ``max_neighbors`` in-edge records per node.
+Selections are *canonical in source-id order*: every ``select`` — including
+the under-cap early return — orders its result by ``e.src``, never by
+arrival order.  Arrival order within a reduce group is a function of which
+upstream task emitted each record, i.e. of the shuffle partition function;
+canonical ordering is what keeps pipeline output byte-identical across
+partitioners (hash vs planned), backends, and re-executed attempts.
 Sampling is deterministic given ``(seed, node id, salt)`` — and the salt is
 *round-independent* on purpose:
 
@@ -67,7 +73,7 @@ class UniformSampling(SamplingStrategy):
 
     def select(self, in_edges, node_id, salt=0):
         if len(in_edges) <= self.max_neighbors:
-            return in_edges
+            return sorted(in_edges, key=lambda e: e.src)
         rng = self._rng(node_id, salt)
         # Sort candidates by src id first so the choice does not depend on
         # arrival order (shuffles are unordered between runs).
@@ -84,7 +90,7 @@ class WeightedSampling(SamplingStrategy):
 
     def select(self, in_edges, node_id, salt=0):
         if len(in_edges) <= self.max_neighbors:
-            return in_edges
+            return sorted(in_edges, key=lambda e: e.src)
         rng = self._rng(node_id, salt)
         ordered = sorted(in_edges, key=lambda e: e.src)
         weights = np.asarray([max(e.weight, 1e-12) for e in ordered], dtype=np.float64)
@@ -102,7 +108,7 @@ class TopKSampling(SamplingStrategy):
 
     def select(self, in_edges, node_id, salt=0):
         if len(in_edges) <= self.max_neighbors:
-            return in_edges
+            return sorted(in_edges, key=lambda e: e.src)
         ordered = sorted(in_edges, key=lambda e: (-e.weight, e.src))
         return ordered[: self.max_neighbors]
 

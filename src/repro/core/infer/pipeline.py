@@ -22,13 +22,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.graphflat.pipeline import DATASET_SINKS
+from repro.core.graphflat.pipeline import DATASET_SINKS, build_partition_plan
 from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
 from repro.core.infer.segmentation import ModelSlice, broadcast_slices, segment_model
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
 from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partition import PARTITIONERS, publish_plan
 from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.spill import DEFAULT_RUN_BYTES, DEFAULT_RUN_RECORDS
 from repro.proto.columnar import write_prediction_shard
@@ -133,6 +134,13 @@ class GraphInferConfig:
     """Spill record encoding: ``binary`` (flat embedding/edge records —
     the default; output is byte-identical to ``pickle``, tested) or
     ``pickle``."""
+    partitioner: str = "hash"
+    """Shuffle partition function for the embedding rounds: ``hash``
+    (crc32 default) or ``planned`` (degree-aware bin-packing of heavy
+    keys, planned from one vectorized in-degree pass — the same counts hub
+    detection uses).  The final prediction round always partitions by
+    hash so score order and shard contents stay partitioner-independent
+    (see ``GraphFlatConfig.partitioner``)."""
     dataset_layout: str = "columnar"
     """DFS shard layout for the predictions dataset: ``columnar`` (stacked
     ``node_ids`` + score matrix per shard — the default) or ``row`` (framed
@@ -178,6 +186,8 @@ class GraphInferConfig:
                 f"slice_transport must be one of {SLICE_TRANSPORTS}, "
                 f"got {self.slice_transport!r}"
             )
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(f"partitioner must be one of {PARTITIONERS}")
 
     def make_runtime(self) -> LocalRuntime:
         return LocalRuntime(
@@ -209,11 +219,19 @@ class GraphInferResult:
     (``auto`` never appears here)."""
 
 
+def _degree_counts(edges: EdgeTable) -> tuple[np.ndarray, np.ndarray]:
+    """Per-destination in-degree as ``(node ids, counts)`` — one vectorized
+    unique+count pass over the dst column.  Feeds both hub detection and
+    the degree-aware partition plan (the same counts GraphFlat gets from
+    its degree MapReduce job)."""
+    return np.unique(np.asarray(edges.dst, dtype=np.int64), return_counts=True)
+
+
 def _detect_hubs(edges: EdgeTable, hub_threshold: int) -> frozenset[int]:
     """In-degree hub detection identical to GraphFlat's, vectorized: one
     unique+count pass over the dst column instead of a per-edge dict loop
     (equality with the loop is reference-tested)."""
-    uniq, counts = np.unique(np.asarray(edges.dst, dtype=np.int64), return_counts=True)
+    uniq, counts = _degree_counts(edges)
     return frozenset(int(v) for v in uniq[counts > hub_threshold])
 
 
@@ -356,8 +374,25 @@ def _graph_infer_rounds(
             )
         distance = _distance_to_targets(edges, target_set, len(gnn_slices))
 
-    hubs = _detect_hubs(edges, config.hub_threshold)
+    uniq_dst, dst_counts = _degree_counts(edges)
+    hubs = frozenset(
+        int(v) for v in uniq_dst[dst_counts > config.hub_threshold]
+    )
     reindex_active = bool(hubs)
+
+    # ---- degree-aware placement plan: same construction as GraphFlat's,
+    # from the vectorized in-degree pass above instead of a degree job.
+    partition_broadcast = None
+    planned = None
+    if config.partitioner == "planned":
+        plan = build_partition_plan(
+            zip(uniq_dst.tolist(), dst_counts.tolist()),
+            hubs,
+            config.reindex_fanout,
+            reindex_active,
+            config.num_reducers,
+        )
+        partition_broadcast, planned = publish_plan(plan, runtime.needs_pickling)
 
     # ---- Map: self embedding h^(0) = x, out-edges, propagate h^(0) --------
     total_rounds = len(gnn_slices)
@@ -402,6 +437,13 @@ def _graph_infer_rounds(
             num_reducers=config.num_reducers,
         )
     )
+    if planned is not None:
+        # Embedding rounds get planned placement; the prediction round
+        # keeps the hash default so score order and reducer-sink shard
+        # contents are partitioner-independent (GraphFlat pins its final
+        # round for the same reason).
+        for job in jobs[:-1]:
+            job.partitioner = planned
     if distance is None:
         embedding_computations = len(nodes) * total_rounds
     else:
@@ -412,36 +454,41 @@ def _graph_infer_rounds(
             if d <= total_rounds - k and node_id in nodes
         )
 
-    sink_mode = config.dataset_sink
-    if sink_mode == "auto":
-        sink_mode = (
-            "reducer"
-            if fs is not None and config.dataset_layout == "columnar"
-            else "parent"
-        )
-    elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
-        raise ValueError(
-            "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
-        )
+    try:
+        sink_mode = config.dataset_sink
+        if sink_mode == "auto":
+            sink_mode = (
+                "reducer"
+                if fs is not None and config.dataset_layout == "columnar"
+                else "parent"
+            )
+        elif sink_mode == "reducer" and (fs is None or config.dataset_layout != "columnar"):
+            raise ValueError(
+                "dataset_sink='reducer' requires a DFS and columnar dataset_layout"
+            )
 
-    if sink_mode == "reducer":
-        # Reducer-owned sink: each prediction reducer writes its own AGLC
-        # shard; score matrices never travel through this process.
-        directory = fs.prepare_dataset(dataset_name)
-        sink = PredictionShardSink(str(directory))
-        counts = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
-        fs.finalize_dataset(
-            dataset_name, layout="columnar", kind="predictions", record_counts=counts
-        )
-        return GraphInferResult(
-            num_nodes=sum(counts),
-            dataset=dataset_name,
-            round_stats=list(runtime.round_stats),
-            embedding_computations=embedding_computations,
-            slice_transport=transport,
-        )
+        if sink_mode == "reducer":
+            # Reducer-owned sink: each prediction reducer writes its own
+            # AGLC shard; score matrices never travel through this process.
+            directory = fs.prepare_dataset(dataset_name)
+            sink = PredictionShardSink(str(directory))
+            counts = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
+            fs.finalize_dataset(
+                dataset_name, layout="columnar", kind="predictions", record_counts=counts
+            )
+            return GraphInferResult(
+                num_nodes=sum(counts),
+                dataset=dataset_name,
+                round_stats=list(runtime.round_stats),
+                embedding_computations=embedding_computations,
+                slice_transport=transport,
+            )
 
-    data = runtime.run_rounds(jobs, node_rows + edge_rows)
+        data = runtime.run_rounds(jobs, node_rows + edge_rows)
+    finally:
+        # Single unlink point for the plan slab — covers failed rounds too.
+        if partition_broadcast is not None:
+            partition_broadcast.close()
     stats = list(runtime.round_stats)
 
     result = GraphInferResult(

@@ -193,6 +193,8 @@ def uug_like(
     homophily: float = 0.85,
     feature_scale: float = 0.35,
     noise_edge_fraction: float = 0.0,
+    zipf_exponent: float = 2.1,
+    max_plain_degree: int = 50,
 ) -> GraphDataset:
     """Scaled-down User-User Graph: power-law social graph with hubs.
 
@@ -205,7 +207,24 @@ def uug_like(
     labeled fraction (training set << graph size, §3.1).  Edge weights model
     interaction counts; node ids are non-contiguous hashes, as in
     production.
+
+    Tail-shape knobs (for partitioning/skew experiments):
+
+    * ``zipf_exponent`` — exponent of the Zipf draw behind the plain (non-hub)
+      degree distribution.  Lower values fatten the tail: more mid-degree
+      nodes, so reducer load is lumpier even before hubs are added.  Must be
+      > 1 (the Zipf distribution is undefined at or below 1).
+    * ``max_plain_degree`` — cap on plain-node degree weight, keeping the
+      tail distinct from the explicit hubs (``num_hubs`` / ``hub_degree``),
+      which are stacked on top and recorded in ``ds.hub_ids``.
+
+    Defaults (2.1 / 50) reproduce the historical generator draw-for-draw:
+    a given seed yields bit-identical tables with the knobs untouched.
     """
+    if zipf_exponent <= 1.0:
+        raise ValueError("zipf_exponent must be > 1")
+    if max_plain_degree < 1:
+        raise ValueError("max_plain_degree must be >= 1")
     rng = new_rng(seed)
     labels = (rng.random(num_nodes) < 0.5).astype(np.int64)
 
@@ -216,8 +235,8 @@ def uug_like(
     features = centers[labels] + rng.standard_normal((num_nodes, feature_dim)).astype(np.float32)
 
     # Power-law degrees via Zipf, then explicit hubs stacked on top.
-    deg = rng.zipf(2.1, num_nodes).astype(np.int64)
-    deg = np.minimum(deg, 50)
+    deg = rng.zipf(zipf_exponent, num_nodes).astype(np.int64)
+    deg = np.minimum(deg, max_plain_degree)
     target_edges = num_nodes * avg_degree // 2
     deg = np.maximum(deg, 1)
     prob = deg / deg.sum()

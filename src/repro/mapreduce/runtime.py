@@ -67,7 +67,7 @@ import tempfile
 import time
 import weakref
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.mapreduce.backends import AttemptContext, Backend, make_backend
@@ -80,8 +80,9 @@ from repro.mapreduce.fault import (
     maybe_check_deadline,
 )
 from repro.mapreduce.job import Combiner, JobFailedError, MapReduceJob, identity_mapper
+from repro.mapreduce.partition import spill_tag
 from repro.mapreduce.retry import PhaseMonitor, RetryPolicy
-from repro.mapreduce.shuffle import group_sorted
+from repro.mapreduce.shuffle import default_partition, group_sorted
 from repro.mapreduce.spill import (
     DEFAULT_RUN_BYTES,
     DEFAULT_RUN_RECORDS,
@@ -129,6 +130,21 @@ class RunStats:
     max_group_values: int = 0
     """Largest single reduce group (values under one key) seen in the round —
     the quantity hub re-indexing exists to bound (§3.2.2)."""
+    partition_records: dict[int, int] = field(default_factory=dict)
+    """partition -> records shuffled *into* that reduce partition this round
+    — the skew the pluggable partitioner exists to control."""
+    partition_bytes: dict[int, int] = field(default_factory=dict)
+    """partition -> shuffle file bytes destined for that reduce partition
+    (spilled shuffles only; empty for in-memory rounds)."""
+
+    def records_skew(self) -> float:
+        """Max/mean records per reduce partition (1.0 = perfectly balanced,
+        0.0 = no data or a single partition)."""
+        return _skew_factor(self.partition_records)
+
+    def bytes_skew(self) -> float:
+        """Max/mean shuffle bytes per reduce partition."""
+        return _skew_factor(self.partition_bytes)
 
     def merge(self, other: "RunStats") -> None:
         if not self.job:
@@ -154,6 +170,26 @@ class RunStats:
                 self.reducer_group_sizes.get(partition, 0) + groups
             )
         self.max_group_values = max(self.max_group_values, other.max_group_values)
+        for partition, records in other.partition_records.items():
+            self.partition_records[partition] = (
+                self.partition_records.get(partition, 0) + records
+            )
+        for partition, nbytes in other.partition_bytes.items():
+            self.partition_bytes[partition] = (
+                self.partition_bytes.get(partition, 0) + nbytes
+            )
+
+
+def _skew_factor(per_partition: dict[int, int]) -> float:
+    """Max/mean of a per-partition counter.  The imbalance number the bench
+    grid tracks: hashing a power-law key set pushes it well above 1; the
+    planned partitioner pulls it back toward 1."""
+    if len(per_partition) < 2:
+        return 0.0
+    total = sum(per_partition.values())
+    if total <= 0:
+        return 0.0
+    return max(per_partition.values()) * len(per_partition) / total
 
 
 @dataclass(frozen=True)
@@ -266,12 +302,37 @@ class _ChainState:
     layout: SpillLayout | None = None
     counts: list[list[int]] | None = None
     buckets: list[list[list]] | None = None
+    byte_counts: list[tuple[int, ...]] | None = None
 
     @property
     def total_records(self) -> int:
         if self.counts is not None:
             return sum(sum(c) for c in self.counts)
         return sum(len(b) for task in self.buckets for b in task)
+
+    def partition_totals(self) -> tuple[list[int], list[int] | None]:
+        """Per-partition (records, file bytes) summed over writer tasks —
+        what the consuming round reports as its shuffle skew.  Bytes are
+        ``None`` for in-memory chains."""
+        if self.counts is not None:
+            num = self.layout.num_partitions
+            records = [0] * num
+            for task in self.counts:
+                for p, n in enumerate(task):
+                    records[p] += n
+            nbytes = None
+            if self.byte_counts and all(t is not None for t in self.byte_counts):
+                nbytes = [0] * num
+                for task in self.byte_counts:
+                    for p, b in enumerate(task):
+                        nbytes[p] += b
+            return records, nbytes
+        num = len(self.buckets[0]) if self.buckets else 0
+        records = [0] * num
+        for task in self.buckets:
+            for p, bucket in enumerate(task):
+                records[p] += len(bucket)
+        return records, None
 
     def source(self, partition: int):
         if self.layout is not None:
@@ -400,6 +461,20 @@ def _sweep_dead_sessions(spill_dir: Path) -> None:
             continue  # pid alive under another user, or unknowable — keep it
 
 
+def _note_partitions(
+    stats: RunStats, records: list[int], nbytes: list[int] | tuple[int, ...] | None = None
+) -> None:
+    """Fold one writer's per-partition record (and optionally byte) totals
+    into the round's skew counters.  Every partition index is recorded —
+    zeros included — so the skew factor's mean is over real partitions,
+    not just non-empty ones."""
+    for p, n in enumerate(records):
+        stats.partition_records[p] = stats.partition_records.get(p, 0) + n
+    if nbytes is not None:
+        for p, b in enumerate(nbytes):
+            stats.partition_bytes[p] = stats.partition_bytes.get(p, 0) + b
+
+
 def _chainable(job: MapReduceJob) -> bool:
     """A reduce-only round can consume the previous round's reducer output
     directly (its identity map phase is a no-op to skip)."""
@@ -422,6 +497,7 @@ class LocalRuntime:
         task_timeout_s: float | None = None,
         speculation_factor: float | None = None,
         retry_policy: RetryPolicy | None = None,
+        partitioner: Callable[[object, int], int] | None = None,
     ):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -449,6 +525,11 @@ class LocalRuntime:
         self.injector = failure_injector
         self.spill_dir = Path(spill_dir) if spill_dir is not None else None
         self.shuffle_codec = shuffle_codec
+        self.partitioner = partitioner
+        """Runtime-level partition function: overrides every job that still
+        carries the hash default (jobs with an explicit partitioner keep
+        it).  Must be deterministic and, under the process backend,
+        picklable — see :class:`~repro.mapreduce.partition.Partitioner`."""
         self.spill_run_records = spill_run_records
         self.spill_run_bytes = spill_run_bytes
         self._session_dir: Path | None = None
@@ -472,10 +553,32 @@ class LocalRuntime:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    @property
+    def needs_pickling(self) -> bool:
+        """True when tasks (and everything inside them — operators,
+        partitioners, sinks) cross a process boundary.  Callers use this to
+        pick broadcast transports: inline payloads for in-process backends,
+        shared-memory locators for pickling ones."""
+        return self._backend.needs_pickling
+
+    def _resolve_partitioner(self, job: MapReduceJob | None) -> MapReduceJob | None:
+        """Apply the runtime-level partitioner to jobs still on the hash
+        default.  A job that names its own partitioner is explicit intent
+        (e.g. a final round pinned to hash for output-order stability) and
+        is left alone."""
+        if (
+            job is None
+            or self.partitioner is None
+            or job.partitioner is not default_partition
+        ):
+            return job
+        return replace(job, partitioner=self.partitioner)
+
     # ------------------------------------------------------------------ api
     def run(self, job: MapReduceJob, inputs: Iterable[tuple]) -> list[tuple]:
         """Execute one round; returns the reducer output pairs, ordered by
         (reduce partition, key order within partition)."""
+        job = self._resolve_partitioner(job)
         if self._backend.needs_pickling:
             self._check_shippable(job)
         output, stats = self._run_one(job, list(inputs), incoming=None, next_job=None)
@@ -504,6 +607,7 @@ class LocalRuntime:
         data = list(inputs)
         if not jobs:
             return data
+        jobs = [self._resolve_partitioner(job) for job in jobs]
         if self._backend.needs_pickling:
             for job in jobs:
                 self._check_shippable(job)
@@ -611,7 +715,11 @@ class LocalRuntime:
                 if spill_root is not None:
                     run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
                     layout = SpillLayout(
-                        run_dir, job.name, job.num_reducers, codec=self.shuffle_codec
+                        run_dir,
+                        job.name,
+                        job.num_reducers,
+                        codec=self.shuffle_codec,
+                        partition_tag=spill_tag(job.partitioner),
                     )
                     # Chain state before the write: if encoding fails
                     # mid-spill, the finally block still removes the run
@@ -619,10 +727,12 @@ class LocalRuntime:
                     consumed = _ChainState(num_tasks=1, layout=layout)
                     written = layout.write_map_output(0, buckets)
                     stats.shuffle_bytes_written += written.bytes_written
+                    _note_partitions(stats, written.counts, written.partition_bytes)
                     sources = [
                         _SpillSource(layout, p, 1) for p in range(job.num_reducers)
                     ]
                 else:
+                    _note_partitions(stats, [len(b) for b in buckets])
                     sources = [_MemorySource(b) for b in buckets]
             elif incoming is None:
                 stats.input_records = len(data)
@@ -633,7 +743,11 @@ class LocalRuntime:
                     # this one, and cleanup is one rmtree.
                     run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
                     layout = SpillLayout(
-                        run_dir, job.name, job.num_reducers, codec=self.shuffle_codec
+                        run_dir,
+                        job.name,
+                        job.num_reducers,
+                        codec=self.shuffle_codec,
+                        partition_tag=spill_tag(job.partitioner),
                     )
                     consumed = _ChainState(num_tasks=job.effective_mappers, layout=layout)
                 map_outputs = self._map_phase(job, data, stats, layout)
@@ -644,11 +758,13 @@ class LocalRuntime:
                         for buckets in map_outputs:
                             part.extend(buckets[p])
                         stats.shuffled_records += len(part)
+                        stats.partition_records[p] = len(part)
                         sources.append(_MemorySource(part))
                 else:
                     for written in map_outputs:
                         stats.shuffled_records += sum(written.counts)
                         stats.shuffle_bytes_written += written.bytes_written
+                        _note_partitions(stats, written.counts, written.partition_bytes)
                     sources = [
                         _SpillSource(layout, p, job.effective_mappers)
                         for p in range(job.num_reducers)
@@ -660,6 +776,8 @@ class LocalRuntime:
                 stats.input_records = total
                 stats.mapped_records = total
                 stats.shuffled_records = total
+                records, nbytes = incoming.partition_totals()
+                _note_partitions(stats, records, nbytes)
                 sources = [incoming.source(p) for p in range(job.num_reducers)]
 
             if next_job is None:
@@ -667,7 +785,11 @@ class LocalRuntime:
             elif spill_root is not None:
                 chain_dir = tempfile.mkdtemp(prefix=f"{chain_name}.", dir=spill_root)
                 chain_layout = SpillLayout(
-                    chain_dir, chain_name, next_job.num_reducers, codec=self.shuffle_codec
+                    chain_dir,
+                    chain_name,
+                    next_job.num_reducers,
+                    codec=self.shuffle_codec,
+                    partition_tag=spill_tag(next_job.partitioner),
                 )
                 sink = _SpillChainSink(
                     chain_layout,
@@ -675,7 +797,12 @@ class LocalRuntime:
                     run_records=self.spill_run_records,
                     run_bytes=self.spill_run_bytes,
                 )
-                chain = _ChainState(num_tasks=job.num_reducers, layout=chain_layout, counts=[])
+                chain = _ChainState(
+                    num_tasks=job.num_reducers,
+                    layout=chain_layout,
+                    counts=[],
+                    byte_counts=[],
+                )
             else:
                 sink = _MemoryChainSink(next_job.partitioner, next_job.num_reducers)
                 chain = _ChainState(num_tasks=job.num_reducers, buckets=[])
@@ -705,6 +832,7 @@ class LocalRuntime:
             elif chain.layout is not None:
                 assert isinstance(stored, SpillWriteResult)
                 chain.counts.append(stored.counts)
+                chain.byte_counts.append(stored.partition_bytes)
                 stats.shuffle_bytes_written += stored.bytes_written
                 stats.peak_reducer_buffer_bytes = max(
                     stats.peak_reducer_buffer_bytes, stored.peak_buffer_bytes

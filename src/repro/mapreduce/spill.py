@@ -129,6 +129,9 @@ class SpillWriteResult:
     counts: list[int]
     bytes_written: int = 0
     peak_buffer_bytes: int = 0
+    partition_bytes: tuple[int, ...] | None = None
+    """Per-partition file bytes (parallel to ``counts``), feeding the
+    runtime's shuffle-skew accounting.  ``None`` from legacy callers."""
 
 
 @dataclass(frozen=True)
@@ -141,12 +144,29 @@ class SpillLayout:
     job_name: str
     num_partitions: int
     codec: str = "pickle"
+    partition_tag: str = ""
+    """Spill-tag of the partition function that routed records into this
+    layout (``Partitioner.spill_tag()``) — embedded in run-file names so a
+    spill directory self-describes how its partitions were assigned, and so
+    runs of the same job under different partitioners can never be merged
+    together.  ``""`` keeps the historical tag-less naming."""
 
     def __post_init__(self):
         if self.codec not in SPILL_CODECS:
             raise ValueError(
                 f"unknown spill codec {self.codec!r}; known: {SPILL_CODECS}"
             )
+        if self.partition_tag and not self.partition_tag.isalnum():
+            raise ValueError(
+                f"partition tag {self.partition_tag!r} must be alphanumeric "
+                "(it is embedded in spill file names)"
+            )
+
+    @property
+    def _file_prefix(self) -> str:
+        if self.partition_tag:
+            return f"{self.job_name}.{self.partition_tag}"
+        return self.job_name
 
     def path(self, map_task: int, partition: int) -> Path:
         """Path of the first (and, for eager writes, only) run file."""
@@ -158,7 +178,7 @@ class SpillLayout:
         missing index."""
         ext = _CODEC_EXTS[self.codec]
         return Path(self.root) / (
-            f"{self.job_name}.m{map_task:05d}.p{partition:05d}.r{run:05d}.{ext}"
+            f"{self._file_prefix}.m{map_task:05d}.p{partition:05d}.r{run:05d}.{ext}"
         )
 
     # ------------------------------------------------------------ record codec
@@ -201,17 +221,20 @@ class SpillLayout:
         (the only things shipped back to the parent)."""
         Path(self.root).mkdir(parents=True, exist_ok=True)
         counts = []
-        total_bytes = 0
+        partition_bytes = []
         for partition, bucket in enumerate(buckets):
             counts.append(len(bucket))
             if not bucket:
+                partition_bytes.append(0)
                 continue
             final = self.path(map_task, partition)
             tmp = final.with_suffix(f".tmp{os.getpid()}")
             with open(tmp, "wb") as fh:
-                total_bytes += self._write_bucket(fh, bucket)
+                partition_bytes.append(self._write_bucket(fh, bucket))
             os.replace(tmp, final)
-        return SpillWriteResult(counts, total_bytes)
+        return SpillWriteResult(
+            counts, sum(partition_bytes), partition_bytes=tuple(partition_bytes)
+        )
 
     def _write_bucket(self, fh, bucket: list[tuple]) -> int:
         """Encode one bucket as key-sorted run frames — one frame per
@@ -313,7 +336,7 @@ class SpillLayout:
         the reduce is done."""
         root = Path(self.root)
         if root.exists():
-            for path in root.glob(f"{self.job_name}.m*"):
+            for path in root.glob(f"{self._file_prefix}.m*"):
                 path.unlink(missing_ok=True)
 
 
@@ -366,6 +389,7 @@ class SpillRunWriter:
         self._pending_bytes = 0
         self._next_run = [0] * num
         self._counts = [0] * num
+        self._partition_bytes = [0] * num
         self._bytes_written = 0
         self._peak_flush = 0
         self._made_root = False
@@ -435,6 +459,7 @@ class SpillRunWriter:
             os.replace(tmp, final)
             self._next_run[partition] += 1
             self._buffers[partition] = {}
+            self._partition_bytes[partition] += written
             flushed += written
         self._bytes_written += flushed
         if flushed > self._peak_flush:
@@ -446,5 +471,8 @@ class SpillRunWriter:
         """Flush the final runs and report counts/bytes to the parent."""
         self._flush()
         return SpillWriteResult(
-            list(self._counts), self._bytes_written, self._peak_flush
+            list(self._counts),
+            self._bytes_written,
+            self._peak_flush,
+            partition_bytes=tuple(self._partition_bytes),
         )

@@ -66,6 +66,7 @@ from repro.nn.module import StateLayout
 
 __all__ = [
     "BatchSlab",
+    "BytesBroadcast",
     "ShmBatchRef",
     "ShmPSClient",
     "ShmTransport",
@@ -309,6 +310,47 @@ class BatchSlab:
         self._finalizer()
 
     def __enter__(self) -> "BatchSlab":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class BytesBroadcast:
+    """Publish one immutable byte payload into a named shared-memory slab.
+
+    The general-purpose sibling of :class:`SlabBroadcast` for non-float
+    payloads (e.g. an encoded partition-plan table): the creating process
+    writes the bytes exactly once, hands out only ``(name, len(payload))``
+    locators, and unlinks in :meth:`close` (``weakref.finalize`` backstop
+    for abandoned instances).  Readers attach with
+    :func:`attach_shared_memory` and copy the prefix out — the slab may be
+    rounded up by the OS, so the advertised length, not the segment size,
+    bounds the payload."""
+
+    def __init__(self, payload: bytes):
+        self.nbytes = len(payload)
+        self._seg = shared_memory.SharedMemory(
+            create=True, size=max(self.nbytes, 1)
+        )
+        self.name = self._seg.name
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _release_segments, self._seg, [])
+        try:
+            self._seg.buf[: self.nbytes] = payload
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Unlink the slab (idempotent); lingering worker mappings stay
+        valid until they unmap, but no new attach can succeed."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "BytesBroadcast":
         return self
 
     def __exit__(self, *exc) -> None:

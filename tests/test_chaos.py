@@ -53,7 +53,11 @@ CHAOS_RATE = {
     "truncate-run": 0.5,
 }
 CHAOS_SEED = 0
-HANG_TIMEOUT_S = 0.4
+# Must sit comfortably above the honest duration of the slowest task at this
+# scale: the deadline only exists to reap injected hangs, and a budget tighter
+# than real work perma-fails healthy tasks until the retry budget is gone
+# (GraphInfer embedding tasks were observed over 0.4s under CI-level load).
+HANG_TIMEOUT_S = 2.0
 
 CHAOS_BACKENDS = ("serial", "threads", "processes")
 

@@ -105,6 +105,44 @@ class TestUugLike:
         same = (ds.nodes.labels[src] == ds.nodes.labels[dst]).mean()
         assert same > 0.55
 
+    def test_tail_knob_defaults_are_draw_identical(self):
+        """``zipf_exponent=2.1, max_plain_degree=50`` must reproduce the
+        historical generator bit-for-bit: the knobs ride on the same rng
+        stream, so defaults change nothing for any seed."""
+        a = uug_like(seed=3, num_nodes=300, num_hubs=2, hub_degree=40)
+        b = uug_like(
+            seed=3, num_nodes=300, num_hubs=2, hub_degree=40,
+            zipf_exponent=2.1, max_plain_degree=50,
+        )
+        np.testing.assert_array_equal(a.edges.src, b.edges.src)
+        np.testing.assert_array_equal(a.edges.dst, b.edges.dst)
+        np.testing.assert_array_equal(a.edges.weights, b.edges.weights)
+        np.testing.assert_array_equal(a.nodes.features, b.nodes.features)
+
+    def test_tail_knobs_reshape_degree_distribution(self):
+        """``max_plain_degree=1`` flattens the plain-degree weights to
+        uniform, so in-degree concentration collapses versus the power-law
+        default; any other exponent/cap changes the draw."""
+
+        def top5_share(ds):
+            _, counts = np.unique(ds.edges.dst, return_counts=True)
+            counts = np.sort(counts)[::-1]
+            k = max(1, int(0.05 * len(counts)))
+            return counts[:k].sum() / counts.sum()
+
+        base = dict(seed=3, num_nodes=2000, num_hubs=0, hub_degree=0, homophily=0.0)
+        powerlaw = uug_like(**base)
+        uniform = uug_like(**base, max_plain_degree=1)
+        assert top5_share(uniform) < top5_share(powerlaw) / 2
+        fat = uug_like(**base, zipf_exponent=1.5)
+        assert not np.array_equal(fat.edges.dst, powerlaw.edges.dst)
+
+    def test_tail_knob_validation(self):
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            uug_like(seed=0, num_nodes=50, zipf_exponent=1.0)
+        with pytest.raises(ValueError, match="max_plain_degree"):
+            uug_like(seed=0, num_nodes=50, max_plain_degree=0)
+
 
 class TestGraphDataset:
     def test_split_overlap_rejected(self):
