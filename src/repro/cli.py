@@ -35,6 +35,7 @@ from repro.mapreduce import BACKEND_REGISTRY, PARTITIONERS, DistFileSystem
 from repro.mapreduce.fs import DATASET_LAYOUTS
 from repro.nn.gnn import MODEL_REGISTRY, build_model
 from repro.proto.codec import decode_prediction
+from repro.transport import SHUFFLE_TRANSPORTS
 
 __all__ = ["main", "save_model", "load_model"]
 
@@ -75,6 +76,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--spill-dir", default=None,
         help="shuffle spill directory (out-of-core); processes backend spills "
         "to a private temp dir by default",
+    )
+    parser.add_argument(
+        "--shuffle-transport", choices=SHUFFLE_TRANSPORTS, default="local",
+        help="how map-side runs reach reducers: 'local' (same-host spill "
+        "files), 'tcp' (length-prefixed frames from a shuffle peer server; "
+        "CRC trailers verified end-to-end), or 'shared-dir' (map tasks push "
+        "runs into per-partition subdirectories of --spill-dir, e.g. a DFS "
+        "mount); output is byte-identical across all three",
+    )
+    parser.add_argument(
+        "--hosts", default=None,
+        help="cluster roster as comma-separated host:port entries; the "
+        "first entry is the coordinator (its base port seeds the "
+        "control/PS/shuffle/broadcast port plan, 0 = ephemeral). "
+        "Unset = single-host loopback",
     )
     parser.add_argument(
         "--shuffle-codec", choices=["binary", "pickle"], default="binary",
@@ -118,9 +134,24 @@ def _add_dist(parser: argparse.ArgumentParser) -> None:
         "processes (true multi-core gradient computation)",
     )
     parser.add_argument(
-        "--dist-transport", choices=["auto", "local", "shm"], default="auto",
-        help="PS transport: in-process lock-based state, or shared-memory "
-        "slabs (zero-copy version-keyed pulls; required for processes)",
+        "--dist-transport", choices=["auto", "local", "shm", "tcp"],
+        default="auto",
+        help="PS transport: in-process lock-based state, shared-memory "
+        "slabs (zero-copy version-keyed pulls), or a TCP parameter server "
+        "(same version-keyed pull/push protocol over sockets; required "
+        "for --dist-remote-workers)",
+    )
+    parser.add_argument(
+        "--dist-remote-workers", type=int, default=0,
+        help="train with workers that join over the network instead of "
+        "spawning locally: opens a worker hub and blocks until this many "
+        "worker ids are claimed by `repro.cli worker --join` processes "
+        "(requires --dist-transport tcp and must equal --dist-workers)",
+    )
+    parser.add_argument(
+        "--hub-port", type=int, default=0,
+        help="worker-hub control port for --dist-remote-workers "
+        "(0 = ephemeral; the chosen endpoint is printed before training)",
     )
     parser.add_argument(
         "--dist-servers", type=int, default=2,
@@ -137,6 +168,11 @@ def _dist_config(args):
     usage-style message instead of a traceback."""
     from repro.ps import DistributedConfig
 
+    tcp_host = "127.0.0.1"
+    if getattr(args, "hosts", None):
+        from repro.transport import ClusterSpec
+
+        tcp_host = ClusterSpec.parse(args.hosts).coordinator.host
     try:
         return DistributedConfig(
             num_workers=max(args.dist_workers, 1),
@@ -146,16 +182,20 @@ def _dist_config(args):
             seed=args.seed,
             worker_backend=args.dist_backend,
             transport=None if args.dist_transport == "auto" else args.dist_transport,
+            remote_workers=args.dist_remote_workers,
+            tcp_host=tcp_host,
+            hub_port=args.hub_port,
         )
     except ValueError as exc:
         raise SystemExit(f"error: invalid --dist configuration: {exc}")
 
 
 def _topology_line(dist) -> str:
+    remote = f" remote={dist.remote_workers}" if dist.remote_workers else ""
     return (
         f"ps topology: servers={dist.num_servers} workers={dist.num_workers} "
         f"mode={dist.mode} transport={dist.transport} "
-        f"backend={dist.worker_backend} staleness={dist.staleness}"
+        f"backend={dist.worker_backend} staleness={dist.staleness}{remote}"
     )
 
 
@@ -165,7 +205,7 @@ def _backend_name(args) -> str:
     return "threads" if args.num_workers > 1 else "serial"
 
 
-def _print_shuffle_summary(round_stats, codec: str) -> None:
+def _print_shuffle_summary(round_stats, codec: str, transport: str = "local") -> None:
     """One line of shuffle accounting so codec wins are visible without
     running the benchmark suite."""
     records = sum(rs.shuffled_records for rs in round_stats)
@@ -184,7 +224,24 @@ def _print_shuffle_summary(round_stats, codec: str) -> None:
             f"shuffle: {records} records (in-memory, {len(round_stats)} "
             f"rounds{detail})"
         )
+    _print_transport_summary(round_stats, transport)
     _print_skew_summary(round_stats)
+
+
+def _print_transport_summary(round_stats, transport: str) -> None:
+    """One line of transport accounting: which shuffle transport carried
+    the runs and how many bytes actually crossed it.  The local transport
+    moves nothing (reducers read the spill files in place), so it only
+    reports the name."""
+    sent = sum(rs.transport_bytes_sent for rs in round_stats)
+    received = sum(rs.transport_bytes_received for rs in round_stats)
+    if sent or received:
+        print(
+            f"transport: {transport} ({sent / 2**20:.2f} MiB sent, "
+            f"{received / 2**20:.2f} MiB received)"
+        )
+    else:
+        print(f"transport: {transport} (in-place, 0 bytes moved)")
 
 
 def _print_skew_summary(round_stats) -> None:
@@ -248,6 +305,8 @@ def _cmd_graphflat(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        shuffle_transport=args.shuffle_transport,
+        hosts=args.hosts,
         partitioner=args.partitioner,
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
@@ -264,7 +323,8 @@ def _cmd_graphflat(args) -> int:
         f"{len(result.hub_nodes)} hub nodes re-indexed, "
         f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
     )
-    _print_shuffle_summary(result.round_stats, args.shuffle_codec)
+    _print_shuffle_summary(result.round_stats, args.shuffle_codec,
+                           args.shuffle_transport)
     _print_fault_summary(result.round_stats)
     return 0
 
@@ -312,6 +372,14 @@ def _cmd_graphtrainer(args) -> int:
         dist = _dist_config(args)
         factory = functools.partial(build_model, args.model, **kwargs)
         with DistributedTrainer(factory, trainer_config, dist) as trainer:
+            if trainer.hub_endpoint is not None:
+                hub_host, hub_port = trainer.hub_endpoint
+                print(
+                    f"worker hub: {hub_host}:{hub_port} (waiting for "
+                    f"{dist.remote_workers} remote workers; join with "
+                    f"`python -m repro.cli worker --join {hub_host}:{hub_port}`)",
+                    flush=True,
+                )
             history = trainer.fit(source)
             model = trainer.server_model()
             pulls = trainer.pull_stats()
@@ -379,6 +447,10 @@ def _cmd_describe(args) -> int:
     else:
         print("ps topology: none (single-process; pass --dist-workers N "
               "for a parameter-server run)")
+    # The shuffle transport a pipeline run over this DFS would use with the
+    # same --shuffle-transport/--hosts flags.
+    hosts = args.hosts if args.hosts else "(single host)"
+    print(f"transport: shuffle={args.shuffle_transport} hosts={hosts}")
     if not records:
         return 0
     # Dispatch on the recorded kind (metadata / columnar header) — decode
@@ -410,6 +482,30 @@ def _cmd_describe(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    """Join a coordinator's worker hub and train the assigned shards
+    (the remote half of ``graphtrainer --dist-remote-workers``)."""
+    from repro.transport.worker import run_worker
+
+    host, _, port = args.join.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"error: --join expects HOST:PORT, got {args.join!r}")
+    stats = run_worker(
+        host, int(port), capacity=args.capacity,
+        join_timeout_s=args.join_timeout_s,
+    )
+    if not stats:
+        print("worker: hub already fully subscribed, nothing to do")
+        return 0
+    for w in sorted(stats):
+        s = stats[w]
+        print(
+            f"worker {w}: {s['refreshes']}/{s['pulls']} pulls refreshed "
+            f"({s['pull_bytes']} transport bytes)"
+        )
+    return 0
+
+
 def _cmd_graphinfer(args) -> int:
     model = load_model(args.model)
     nodes = read_node_table(args.node_table)
@@ -424,6 +520,8 @@ def _cmd_graphinfer(args) -> int:
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
         shuffle_codec=args.shuffle_codec,
+        shuffle_transport=args.shuffle_transport,
+        hosts=args.hosts,
         partitioner=args.partitioner,
         dataset_layout=args.dataset_layout,
         dataset_sink=args.dataset_sink,
@@ -445,7 +543,8 @@ def _cmd_graphinfer(args) -> int:
         f"{result.slice_transport} slice transport) -> "
         f"{args.dfs}/{args.output}"
     )
-    _print_shuffle_summary(result.round_stats, args.shuffle_codec)
+    _print_shuffle_summary(result.round_stats, args.shuffle_codec,
+                           args.shuffle_transport)
     _print_fault_summary(result.round_stats)
     return 0
 
@@ -566,6 +665,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(infer)
     infer.set_defaults(func=_cmd_graphinfer)
+
+    worker = sub.add_parser(
+        "worker", help="join a coordinator's worker hub (remote training)"
+    )
+    worker.add_argument(
+        "--join", required=True, metavar="HOST:PORT",
+        help="worker-hub control endpoint printed by the coordinator's "
+        "`graphtrainer --dist-remote-workers` run",
+    )
+    worker.add_argument(
+        "--capacity", type=int, default=1,
+        help="worker ids to claim from the hub (one trainer thread each)",
+    )
+    worker.add_argument(
+        "--join-timeout", dest="join_timeout_s", type=float, default=60.0,
+        metavar="SECONDS",
+        help="how long to keep retrying the hub endpoint before giving up",
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     describe = sub.add_parser("describe", help="inspect a DFS dataset")
     describe.add_argument("dataset", help="dataset name under the DFS root")

@@ -128,6 +128,16 @@ class GraphFlatConfig:
     """Straggler speculation (processes backend): a task running longer
     than this factor x the phase's median completed duration races a
     duplicate attempt; first completion wins.  ``None`` = off."""
+    shuffle_transport: str = "local"
+    """How reducers reach map-side shuffle runs: ``local`` (direct file
+    reads — the intra-host fast path, byte-identical to the historical
+    spill layout), ``tcp`` (shuffle peering over the frame wire protocol)
+    or ``shared-dir`` (runs pushed to per-partition peer directories under
+    a shared ``spill_dir`` mount).  Output is byte-identical across all
+    three (tested)."""
+    hosts: str | None = None
+    """Cluster roster for the TCP transports (``host:port,host:port,...``;
+    first entry is the coordinator).  ``None`` binds ephemeral loopback."""
 
     def __post_init__(self):
         if self.hops < 1:
@@ -140,8 +150,19 @@ class GraphFlatConfig:
             raise ValueError(f"dataset_sink must be one of {DATASET_SINKS}")
         if self.partitioner not in PARTITIONERS:
             raise ValueError(f"partitioner must be one of {PARTITIONERS}")
+        from repro.transport.shuffle import SHUFFLE_TRANSPORTS
+
+        if self.shuffle_transport not in SHUFFLE_TRANSPORTS:
+            raise ValueError(
+                f"shuffle_transport must be one of {SHUFFLE_TRANSPORTS}"
+            )
 
     def make_runtime(self) -> LocalRuntime:
+        cluster = None
+        if self.hosts:
+            from repro.transport.cluster import ClusterSpec
+
+            cluster = ClusterSpec.parse(self.hosts)
         return LocalRuntime(
             backend=self.backend,
             max_workers=self.num_workers,
@@ -152,6 +173,8 @@ class GraphFlatConfig:
             spill_run_bytes=self.spill_run_bytes,
             task_timeout_s=self.task_timeout_s,
             speculation_factor=self.speculation_factor,
+            shuffle_transport=self.shuffle_transport,
+            cluster=cluster,
         )
 
 

@@ -175,6 +175,15 @@ class GraphInferConfig:
     """Straggler speculation (processes backend): a task running longer
     than this factor x the phase's median completed duration races a
     duplicate attempt; first completion wins.  ``None`` = off."""
+    shuffle_transport: str = "local"
+    """How reducers reach map-side shuffle runs: ``local`` (direct file
+    reads), ``tcp`` (shuffle peering over the frame wire protocol) or
+    ``shared-dir`` (runs pushed to per-partition peer directories under a
+    shared ``spill_dir`` mount).  Scores are byte-identical across all
+    three (tested) — see ``GraphFlatConfig.shuffle_transport``."""
+    hosts: str | None = None
+    """Cluster roster for the TCP transports (``host:port,...``; first
+    entry is the coordinator).  ``None`` binds ephemeral loopback."""
 
     def __post_init__(self):
         if self.dataset_layout not in DATASET_LAYOUTS:
@@ -188,8 +197,19 @@ class GraphInferConfig:
             )
         if self.partitioner not in PARTITIONERS:
             raise ValueError(f"partitioner must be one of {PARTITIONERS}")
+        from repro.transport.shuffle import SHUFFLE_TRANSPORTS
+
+        if self.shuffle_transport not in SHUFFLE_TRANSPORTS:
+            raise ValueError(
+                f"shuffle_transport must be one of {SHUFFLE_TRANSPORTS}"
+            )
 
     def make_runtime(self) -> LocalRuntime:
+        cluster = None
+        if self.hosts:
+            from repro.transport.cluster import ClusterSpec
+
+            cluster = ClusterSpec.parse(self.hosts)
         return LocalRuntime(
             backend=self.backend,
             max_workers=self.num_workers,
@@ -200,6 +220,8 @@ class GraphInferConfig:
             spill_run_bytes=self.spill_run_bytes,
             task_timeout_s=self.task_timeout_s,
             speculation_factor=self.speculation_factor,
+            shuffle_transport=self.shuffle_transport,
+            cluster=cluster,
         )
 
 

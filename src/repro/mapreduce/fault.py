@@ -25,6 +25,11 @@ failure surface, not just crash-before-work:
     frame framing) fails loudly mid-merge and the attempt is re-executed.
     The fault is injected on the read path, never on disk: the retry reads
     the intact file, which is what keeps re-execution byte-identical.
+  - ``conn-reset`` — the network twin of the read faults: the attempt's
+    shuffle-fetch *connection* dies mid-stream (``ConnectionResetError``,
+    retryable) while the peer's run files stay intact, so the retried
+    attempt re-fetches the same bytes.  Only the TCP shuffle transport
+    consumes it; elsewhere it arms and expires harmlessly.
 
 Decisions (which attempt gets which fault) are made in the *parent* — that
 keeps the injected-counter and ``max_faults`` cap exact under every backend
@@ -57,13 +62,19 @@ __all__ = [
     "deadline_scope",
     "maybe_check_deadline",
     "run_with_effects",
+    "take_conn_fault",
     "take_read_fault",
 ]
 
-FAULT_KINDS = ("crash", "hang", "slow", "corrupt-run", "truncate-run")
+FAULT_KINDS = ("crash", "hang", "slow", "corrupt-run", "truncate-run", "conn-reset")
 
 _READ_FAULTS = ("corrupt-run", "truncate-run")
 """Kinds that only make sense for spill-reading (reduce) attempts."""
+
+_REDUCE_ONLY_FAULTS = _READ_FAULTS + ("conn-reset",)
+"""Kinds gated to reduce attempts (map attempts neither read spill runs
+nor fetch them over the wire), keeping the injected counters equal to the
+number of effects actually applied."""
 
 
 class InjectedWorkerFailure(RuntimeError):
@@ -192,7 +203,7 @@ class FaultPlan(FailureInjector):
             rate = self.rates.get(kind, 0.0)
             if rate == 0.0:
                 continue
-            if kind in _READ_FAULTS and not task_id.startswith("reduce-"):
+            if kind in _REDUCE_ONLY_FAULTS and not task_id.startswith("reduce-"):
                 continue
             if _uniform(self._seed, f"{job_name}|{task_id}|{attempt}|{kind}") < rate:
                 if not self._count_one():
@@ -314,6 +325,19 @@ def take_read_fault() -> str | None:
     return kind
 
 
+# Connection-fault handoff: same shape as the read-fault handoff, consumed
+# by the TCP shuffle fetch (TcpFetchSource._fetch_runs) for one fetch.
+_CONN_FAULT = threading.local()
+
+
+def take_conn_fault() -> str | None:
+    """Pop this thread's pending connection fault (one fetch per attempt)."""
+    kind = getattr(_CONN_FAULT, "kind", None)
+    if kind is not None:
+        _CONN_FAULT.kind = None
+    return kind
+
+
 def run_with_effects(spec: AttemptSpec | None, fn, args):
     """Run one task attempt body with its fault effect and deadline.
 
@@ -344,8 +368,12 @@ def run_with_effects(spec: AttemptSpec | None, fn, args):
             )
         elif fault in _READ_FAULTS:
             _READ_FAULT.kind = fault
+        elif fault == "conn-reset":
+            _CONN_FAULT.kind = fault
         try:
             return fn(*args)
         finally:
             if fault in _READ_FAULTS:
                 _READ_FAULT.kind = None
+            elif fault == "conn-reset":
+                _CONN_FAULT.kind = None

@@ -36,9 +36,13 @@ __all__ = ["RetryPolicy", "PhaseMonitor", "default_retryable"]
 
 def default_retryable() -> tuple[type[BaseException], ...]:
     """The failures MapReduce re-execution is *designed* to absorb: injected
-    crashes, dead worker processes, overrun deadlines, and corrupted spill
-    runs detected by the frame CRC.  (``WorkerCrashError`` is resolved
-    lazily to keep this module import-light for the backends layer.)"""
+    crashes, dead worker processes, overrun deadlines, corrupted spill
+    runs detected by the frame CRC, and — with a TCP shuffle or PS
+    transport — dropped/reset connections and network timeouts
+    (``ConnectionError`` covers resets and refused dials; ``TimeoutError``
+    is ``socket.timeout`` since Python 3.10).  (``WorkerCrashError`` is
+    resolved lazily to keep this module import-light for the backends
+    layer.)"""
     from repro.mapreduce.backends import WorkerCrashError
 
     return (
@@ -46,6 +50,8 @@ def default_retryable() -> tuple[type[BaseException], ...]:
         WorkerCrashError,
         TaskTimeoutError,
         FrameCorruptionError,
+        ConnectionError,
+        TimeoutError,
     )
 
 

@@ -107,6 +107,13 @@ class RunStats:
     shuffle_bytes_written: int = 0
     """Bytes spilled to shuffle files this round (0 for in-memory shuffles)
     — the quantity the binary record codec exists to shrink."""
+    transport_bytes_sent: int = 0
+    """Bytes the shuffle transport moved off this host (wire frames served
+    by the TCP peer server, or pushes across the shared-dir mount); 0 for
+    the local transport — nothing leaves the filesystem."""
+    transport_bytes_received: int = 0
+    """Bytes the shuffle transport brought to reducers from elsewhere
+    (fetch requests + shared-dir reads); 0 for the local transport."""
     peak_reducer_buffer_bytes: int = 0
     """Largest single sorted-run flush (file bytes) any chain reducer made
     this round — the external sort's buffering high-water mark.  Bounded by
@@ -155,6 +162,8 @@ class RunStats:
         self.shuffled_records += other.shuffled_records
         self.reduced_records += other.reduced_records
         self.shuffle_bytes_written += other.shuffle_bytes_written
+        self.transport_bytes_sent += other.transport_bytes_sent
+        self.transport_bytes_received += other.transport_bytes_received
         self.peak_reducer_buffer_bytes = max(
             self.peak_reducer_buffer_bytes, other.peak_reducer_buffer_bytes
         )
@@ -334,8 +343,15 @@ class _ChainState:
                 records[p] += len(bucket)
         return records, None
 
+    source_fn: Callable | None = None
+    """Transport-aware source factory ``(layout, partition, num_tasks) ->
+    source`` (parent-side only, never pickled); ``None`` falls back to the
+    direct-read :class:`_SpillSource`."""
+
     def source(self, partition: int):
         if self.layout is not None:
+            if self.source_fn is not None:
+                return self.source_fn(self.layout, partition, self.num_tasks)
             return _SpillSource(self.layout, partition, self.num_tasks)
         merged: list[tuple] = []
         for task in self.buckets:
@@ -435,21 +451,45 @@ def _reduce_task(job: MapReduceJob, source, sink, task_index: int):
     return stored, counters[0], counters[1], counters[2]
 
 
+def _session_prefix() -> str:
+    """Session-directory name prefix: ``mr<pid>.h<hosttag>.``.
+
+    The host tag scopes the liveness probe: pids are only meaningful on the
+    machine that issued them, so when ``spill_dir`` is a shared (DFS) mount
+    the sweep must never judge — let alone reap — another host's sessions
+    by its own process table."""
+    from repro.transport.cluster import host_tag
+
+    return f"mr{os.getpid()}.h{host_tag()}."
+
+
 def _sweep_dead_sessions(spill_dir: Path) -> None:
     """Remove session directories whose owning process no longer exists.
 
     A runtime that crashed (or was SIGKILLed) mid-chain cannot run its own
     cleanup, stranding intermediate run files under the shared ``spill_dir``.
-    Session directory names embed the owner's pid (``mr<pid>.<token>``), so
-    the next runtime to use the directory reaps every session whose pid is
-    gone — a crashed round N leaves nothing behind for anyone's round N+1."""
+    Session directory names embed the owner's pid and host
+    (``mr<pid>.h<hosttag>.<token>``), so the next runtime to use the
+    directory reaps every *same-host* session whose pid is gone — a crashed
+    round N leaves nothing behind for anyone's round N+1, while sessions
+    owned by other hosts on a shared mount are left strictly alone (their
+    pids mean nothing here)."""
+    from repro.transport.cluster import host_tag
+
+    local_tag = f"h{host_tag()}"
     for entry in spill_dir.glob("mr[0-9]*.*"):
         if not entry.is_dir():
             continue
         name = entry.name
+        parts = name.split(".")
         try:
-            pid = int(name[2 : name.index(".")])
+            pid = int(parts[0][2:])
         except ValueError:
+            continue
+        # Host-tagged sessions from other hosts are not ours to judge;
+        # legacy two-part names (``mr<pid>.<token>``) predate the tag and
+        # were always written by local processes.
+        if len(parts) >= 3 and parts[1].startswith("h") and parts[1] != local_tag:
             continue
         if pid == os.getpid():
             continue
@@ -498,12 +538,26 @@ class LocalRuntime:
         speculation_factor: float | None = None,
         retry_policy: RetryPolicy | None = None,
         partitioner: Callable[[object, int], int] | None = None,
+        shuffle_transport: str = "local",
+        cluster=None,
     ):
+        from repro.transport.shuffle import SHUFFLE_TRANSPORTS, make_shuffle_transport
+
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if shuffle_codec not in SPILL_CODECS:
             raise ValueError(
                 f"unknown shuffle codec {shuffle_codec!r}; known: {SPILL_CODECS}"
+            )
+        if shuffle_transport not in SHUFFLE_TRANSPORTS:
+            raise ValueError(
+                f"unknown shuffle transport {shuffle_transport!r}; "
+                f"known: {SHUFFLE_TRANSPORTS}"
+            )
+        if shuffle_transport == "shared-dir" and spill_dir is None:
+            raise ValueError(
+                "the shared-dir shuffle transport pushes runs across a shared "
+                "mount: pass spill_dir (the mount point)"
             )
         if task_timeout_s is not None and task_timeout_s <= 0:
             raise ValueError(f"task_timeout_s must be > 0, got {task_timeout_s}")
@@ -532,6 +586,9 @@ class LocalRuntime:
         picklable — see :class:`~repro.mapreduce.partition.Partitioner`."""
         self.spill_run_records = spill_run_records
         self.spill_run_bytes = spill_run_bytes
+        self.shuffle_transport = shuffle_transport
+        self.cluster = cluster
+        self._transport = make_shuffle_transport(shuffle_transport, cluster)
         self._session_dir: Path | None = None
         self._finalizer: weakref.finalize | None = None
         self.last_stats: RunStats | None = None
@@ -539,9 +596,10 @@ class LocalRuntime:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Shut down pooled workers and remove this runtime's session spill
-        directory (round subdirectories and all)."""
+        """Shut down pooled workers, the shuffle transport, and remove this
+        runtime's session spill directory (round subdirectories and all)."""
         self._backend.close()
+        self._transport.close()
         if self._finalizer is not None:
             self._finalizer()
             self._finalizer = None
@@ -668,9 +726,11 @@ class LocalRuntime:
             self.spill_dir.mkdir(parents=True, exist_ok=True)
             _sweep_dead_sessions(self.spill_dir)
             self._session_dir = Path(
-                tempfile.mkdtemp(prefix=f"mr{os.getpid()}.", dir=self.spill_dir)
+                tempfile.mkdtemp(prefix=_session_prefix(), dir=self.spill_dir)
             )
-        elif self._backend.needs_pickling:
+        elif self._backend.needs_pickling or self.shuffle_transport != "local":
+            # A TCP shuffle without an explicit spill_dir still needs run
+            # files to serve — spill into a private temp session.
             self._session_dir = Path(tempfile.mkdtemp(prefix="repro-mr-spill-"))
         else:
             return None
@@ -714,12 +774,14 @@ class LocalRuntime:
                 buckets = _partition_pairs(data, job.partitioner, job.num_reducers)
                 if spill_root is not None:
                     run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
+                    self._transport.register_root(run_dir)
                     layout = SpillLayout(
                         run_dir,
                         job.name,
                         job.num_reducers,
                         codec=self.shuffle_codec,
                         partition_tag=spill_tag(job.partitioner),
+                        partition_subdirs=self._transport.partition_subdirs,
                     )
                     # Chain state before the write: if encoding fails
                     # mid-spill, the finally block still removes the run
@@ -729,7 +791,8 @@ class LocalRuntime:
                     stats.shuffle_bytes_written += written.bytes_written
                     _note_partitions(stats, written.counts, written.partition_bytes)
                     sources = [
-                        _SpillSource(layout, p, 1) for p in range(job.num_reducers)
+                        self._transport.source(layout, p, 1)
+                        for p in range(job.num_reducers)
                     ]
                 else:
                     _note_partitions(stats, [len(b) for b in buckets])
@@ -742,12 +805,14 @@ class LocalRuntime:
                     # from an earlier failed run can never leak records into
                     # this one, and cleanup is one rmtree.
                     run_dir = tempfile.mkdtemp(prefix=f"{job.name}.", dir=spill_root)
+                    self._transport.register_root(run_dir)
                     layout = SpillLayout(
                         run_dir,
                         job.name,
                         job.num_reducers,
                         codec=self.shuffle_codec,
                         partition_tag=spill_tag(job.partitioner),
+                        partition_subdirs=self._transport.partition_subdirs,
                     )
                     consumed = _ChainState(num_tasks=job.effective_mappers, layout=layout)
                 map_outputs = self._map_phase(job, data, stats, layout)
@@ -766,7 +831,7 @@ class LocalRuntime:
                         stats.shuffle_bytes_written += written.bytes_written
                         _note_partitions(stats, written.counts, written.partition_bytes)
                     sources = [
-                        _SpillSource(layout, p, job.effective_mappers)
+                        self._transport.source(layout, p, job.effective_mappers)
                         for p in range(job.num_reducers)
                     ]
             else:
@@ -784,12 +849,14 @@ class LocalRuntime:
                 sink = final_sink if final_sink is not None else _CollectSink()
             elif spill_root is not None:
                 chain_dir = tempfile.mkdtemp(prefix=f"{chain_name}.", dir=spill_root)
+                self._transport.register_root(chain_dir)
                 chain_layout = SpillLayout(
                     chain_dir,
                     chain_name,
                     next_job.num_reducers,
                     codec=self.shuffle_codec,
                     partition_tag=spill_tag(next_job.partitioner),
+                    partition_subdirs=self._transport.partition_subdirs,
                 )
                 sink = _SpillChainSink(
                     chain_layout,
@@ -802,6 +869,7 @@ class LocalRuntime:
                     layout=chain_layout,
                     counts=[],
                     byte_counts=[],
+                    source_fn=self._transport.source,
                 )
             else:
                 sink = _MemoryChainSink(next_job.partitioner, next_job.num_reducers)
@@ -842,6 +910,7 @@ class LocalRuntime:
 
         if self.injector is not None:
             stats.injected_failures = self.injector.injected - injected_before
+        self._transport.account(stats)
         return (chain if chain is not None else output), stats
 
     def _attempt_spec(self, fault: str | None) -> AttemptSpec | None:

@@ -150,6 +150,12 @@ class SpillLayout:
     spill directory self-describes how its partitions were assigned, and so
     runs of the same job under different partitioners can never be merged
     together.  ``""`` keeps the historical tag-less naming."""
+    partition_subdirs: bool = False
+    """Route each partition's runs into a ``p00007/`` peer directory under
+    ``root`` (the shared-dir shuffle transport: writers push straight to
+    the owning reducer's location on a DFS mount).  File *names* are
+    unchanged — only the directory differs — so the merge order, and
+    therefore the reduced output, is byte-identical to the flat layout."""
 
     def __post_init__(self):
         if self.codec not in SPILL_CODECS:
@@ -177,9 +183,10 @@ class SpillLayout:
         per ``(map_task, partition)``; the reader scans until the first
         missing index."""
         ext = _CODEC_EXTS[self.codec]
-        return Path(self.root) / (
-            f"{self._file_prefix}.m{map_task:05d}.p{partition:05d}.r{run:05d}.{ext}"
-        )
+        name = f"{self._file_prefix}.m{map_task:05d}.p{partition:05d}.r{run:05d}.{ext}"
+        if self.partition_subdirs:
+            return Path(self.root) / f"p{partition:05d}" / name
+        return Path(self.root) / name
 
     # ------------------------------------------------------------ record codec
     def _encode_payload(self, values: list) -> bytes:
@@ -228,6 +235,8 @@ class SpillLayout:
                 partition_bytes.append(0)
                 continue
             final = self.path(map_task, partition)
+            if self.partition_subdirs:
+                final.parent.mkdir(exist_ok=True)
             tmp = final.with_suffix(f".tmp{os.getpid()}")
             with open(tmp, "wb") as fh:
                 partition_bytes.append(self._write_bucket(fh, bucket))
@@ -336,7 +345,10 @@ class SpillLayout:
         the reduce is done."""
         root = Path(self.root)
         if root.exists():
-            for path in root.glob(f"{self._file_prefix}.m*"):
+            pattern = f"{self._file_prefix}.m*"
+            if self.partition_subdirs:
+                pattern = f"p[0-9]*/{self._file_prefix}.m*"
+            for path in root.glob(pattern):
                 path.unlink(missing_ok=True)
 
 
@@ -445,6 +457,8 @@ class SpillRunWriter:
             final = self._layout.run_path(
                 self._map_task, partition, self._next_run[partition]
             )
+            if self._layout.partition_subdirs:
+                final.parent.mkdir(exist_ok=True)
             tmp = final.with_suffix(f".tmp{os.getpid()}")
             with open(tmp, "wb") as fh:
                 written = write_stream_header(fh, codec_id)

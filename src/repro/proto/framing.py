@@ -57,6 +57,7 @@ __all__ = [
     "encode_list_payload",
     "encode_value",
     "iter_frames",
+    "read_frame",
     "read_stream_header",
     "register_record",
     "write_frame",
@@ -352,6 +353,40 @@ def _read_uvarint(fh) -> int | None:
             raise FrameCorruptionError("frame varint longer than 64 bits")
 
 
+def read_frame(fh) -> tuple[bytes, bytes] | None:
+    """Read one ``(key, payload)`` frame from an open binary stream, or
+    ``None`` on clean EOF (before the first byte of the frame).
+
+    This is the single-frame primitive shared by spill files and the TCP
+    transport's wire protocol: the CRC32 trailer is verified before the
+    frame is returned, so a flipped bit anywhere in key or payload — on
+    disk or on the wire — raises :class:`FrameCorruptionError` instead of
+    delivering bad input."""
+    klen = _read_uvarint(fh)
+    if klen is None:
+        return None
+    key = fh.read(klen)
+    if len(key) != klen:
+        raise FrameCorruptionError("truncated frame key")
+    plen = _read_uvarint(fh)
+    if plen is None:
+        raise FrameCorruptionError("frame missing payload length")
+    payload = fh.read(plen)
+    if len(payload) != plen:
+        raise FrameCorruptionError("truncated frame payload")
+    trailer = fh.read(_CRC.size)
+    if len(trailer) != _CRC.size:
+        raise FrameCorruptionError("truncated frame CRC")
+    expected = _CRC.unpack(trailer)[0]
+    actual = zlib.crc32(payload, zlib.crc32(key))
+    if actual != expected:
+        raise FrameCorruptionError(
+            f"frame CRC mismatch (stored {expected:#010x}, "
+            f"computed {actual:#010x}) — corrupted frame"
+        )
+    return key, payload
+
+
 def iter_frames(fh):
     """Yield ``(key_bytes, payload)`` frames from an open binary file.
 
@@ -362,26 +397,7 @@ def iter_frames(fh):
     :class:`FrameCorruptionError` instead of feeding the reducer bad input.
     """
     while True:
-        klen = _read_uvarint(fh)
-        if klen is None:
+        frame = read_frame(fh)
+        if frame is None:
             return
-        key = fh.read(klen)
-        if len(key) != klen:
-            raise FrameCorruptionError("truncated frame key")
-        plen = _read_uvarint(fh)
-        if plen is None:
-            raise FrameCorruptionError("frame missing payload length")
-        payload = fh.read(plen)
-        if len(payload) != plen:
-            raise FrameCorruptionError("truncated frame payload")
-        trailer = fh.read(_CRC.size)
-        if len(trailer) != _CRC.size:
-            raise FrameCorruptionError("truncated frame CRC")
-        expected = _CRC.unpack(trailer)[0]
-        actual = zlib.crc32(payload, zlib.crc32(key))
-        if actual != expected:
-            raise FrameCorruptionError(
-                f"frame CRC mismatch (stored {expected:#010x}, "
-                f"computed {actual:#010x}) — corrupted spill run"
-            )
-        yield key, payload
+        yield frame

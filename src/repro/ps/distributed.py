@@ -11,23 +11,33 @@ Two worker backends:
   directly (numpy kernels release the GIL for the BLAS-heavy parts, but
   the backward pass is GIL-bound Python).  Works with either transport.
 * ``processes`` — workers are real OS processes: the last GIL-bound stage
-  of the pipeline finally shards across cores.  Requires the ``shm``
-  transport (the shared-memory slabs of :mod:`repro.ps.shm`); each worker
-  receives a picklable :class:`~repro.core.trainer.dataset.ColumnarSlice`
-  — shard paths plus row locators, never the samples themselves — and
-  opens its mmap'd columnar shards directly.  In-memory inputs are spilled
-  once to a temporary columnar dataset so the same never-transit property
-  holds.  Epochs are barriered: workers report their epoch loss and wait
-  on a gate while the parent evaluates the server parameters, exactly like
-  the thread path's per-epoch join.
+  of the pipeline finally shards across cores.  Requires a cross-process
+  transport — ``shm`` (the shared-memory slabs of :mod:`repro.ps.shm`) or
+  ``tcp`` (socket clients of :mod:`repro.ps.tcp`); each worker receives a
+  picklable :class:`~repro.core.trainer.dataset.ColumnarSlice` — shard
+  paths plus row locators, never the samples themselves — and opens its
+  mmap'd columnar shards directly.  In-memory inputs are spilled once to
+  a temporary columnar dataset so the same never-transit property holds.
+  Epochs are barriered: workers report their epoch loss and wait on a
+  gate while the parent evaluates the server parameters, exactly like the
+  thread path's per-epoch join.
+
+On top of either backend, ``remote_workers`` hands every worker shard to
+*joining* processes instead of spawning them: the trainer opens a
+:class:`~repro.transport.worker.WorkerHub` and waits for ``repro worker
+--join`` peers (possibly on other hosts) to dial in, fetch their train
+specs via the broadcast plane, and train against the TCP parameter
+server.  Requires ``transport="tcp"``.
 
 BSP with the same seed and worker count produces a bit-identical loss
-trajectory on both backends (tested) — the consistency semantics live in
-one place (:mod:`repro.ps.server`) and the transports only move bytes.
+trajectory on every backend and transport (tested) — the consistency
+semantics live in one place (:mod:`repro.ps.server`) and the transports
+only move bytes.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import shutil
 import tempfile
@@ -64,20 +74,46 @@ class DistributedConfig:
     """``threads`` (workers share this process) or ``processes`` (real OS
     processes — true multi-core gradient computation)."""
     transport: str | None = None
-    """PS transport: ``local`` (lock-based, single-process) or ``shm``
-    (shared-memory slabs).  ``None`` picks the natural one for the worker
-    backend: threads -> local, processes -> shm."""
+    """PS transport: ``local`` (lock-based, single-process), ``shm``
+    (shared-memory slabs) or ``tcp`` (socket clients — works across
+    hosts).  ``None`` picks the natural one for the worker backend:
+    threads -> local, processes -> shm, remote_workers -> tcp."""
+    tcp_host: str = "127.0.0.1"
+    """Bind address for the TCP parameter server (``transport="tcp"``)."""
+    tcp_port: int = 0
+    """Bind port for the TCP parameter server; 0 means ephemeral."""
+    remote_workers: int = 0
+    """Workers expected to arrive via ``repro worker --join`` instead of
+    being spawned locally.  Non-zero requires ``transport="tcp"`` and (for
+    now) must equal ``num_workers`` — the hub owns every shard."""
+    hub_port: int = 0
+    """Bind port for the worker hub's control plane (``remote_workers``);
+    0 means ephemeral — read the bound address off ``hub_endpoint``."""
 
     def __post_init__(self):
         if self.worker_backend not in _WORKER_BACKENDS:
             raise ValueError(f"worker_backend must be one of {_WORKER_BACKENDS}")
         if self.transport is None:
-            self.transport = "shm" if self.worker_backend == "processes" else "local"
-        if self.worker_backend == "processes" and self.transport != "shm":
+            if self.remote_workers:
+                self.transport = "tcp"
+            else:
+                self.transport = (
+                    "shm" if self.worker_backend == "processes" else "local"
+                )
+        if self.worker_backend == "processes" and self.transport == "local":
             raise ValueError(
                 "process workers cannot share a local (in-process) parameter "
-                "server; use transport='shm'"
+                "server; use transport='shm' or transport='tcp'"
             )
+        if self.remote_workers:
+            if self.transport != "tcp":
+                raise ValueError("remote_workers requires transport='tcp'")
+            if self.remote_workers != self.num_workers:
+                raise ValueError(
+                    "remote_workers must equal num_workers (every shard is "
+                    f"served through the hub): {self.remote_workers} != "
+                    f"{self.num_workers}"
+                )
 
 
 @dataclass
@@ -144,14 +180,21 @@ class DistributedTrainer:
             mode=self.dist.mode,
             staleness=self.dist.staleness,
             transport=self.dist.transport,
+            tcp_host=self.dist.tcp_host,
+            tcp_port=self.dist.tcp_port,
         )
         self._factory = model_factory
         self._eval_model = model_factory()
         self._eval_trainer = GraphTrainer(self._eval_model, trainer_config)
         self.group.initialize(self._eval_model.state_dict())
+        self._hub = None
+        if self.dist.remote_workers:
+            from repro.transport.worker import WorkerHub
+
+            self._hub = WorkerHub(host=self.dist.tcp_host, port=self.dist.hub_port)
         self.workers: list[GraphTrainer] = []
         self._clients = []
-        if self.dist.worker_backend == "threads":
+        if self.dist.worker_backend == "threads" and not self.dist.remote_workers:
             for w in range(self.dist.num_workers):
                 client = self.group.client(w)
                 self._clients.append(client)
@@ -218,6 +261,8 @@ class DistributedTrainer:
                 f"{len(source)} samples cannot feed {self.dist.num_workers} workers"
             )
         val = None if val_samples is None else as_sample_source(val_samples)
+        if self.dist.remote_workers:
+            return self._fit_remote(source, val, metric)
         if self.dist.worker_backend == "processes":
             return self._fit_processes(source, val, metric)
         return self._fit_threads(source, val, metric)
@@ -280,7 +325,10 @@ class DistributedTrainer:
     def _fit_processes(self, source, val, metric: str | None) -> list[dict]:
         columnar, spill_dir = self._ensure_columnar(source)
         shards = [columnar.slice(idx) for idx in self._partition_indices(len(columnar))]
-        transport = self.group._shm
+        # Either cross-process transport exposes the same parent-side handle
+        # surface: ``ctx`` (the agreed start-method), ``mark_dead`` (excuse a
+        # corpse from every barrier) and ``server_error``.
+        transport = self.group._shm if self.group._shm is not None else self.group._tcp
         ctx = transport.ctx
         events = ctx.Queue()
         gates = [ctx.Semaphore(0) for _ in range(self.dist.num_workers)]
@@ -393,6 +441,72 @@ class DistributedTrainer:
         self._raise_worker_errors([errors[w] for w in sorted(errors)])
         return self.history
 
+    # -------------------------------------------------------------- remote
+    def _fit_remote(self, source, val, metric: str | None) -> list[dict]:
+        """Serve every worker shard to joining ``repro worker --join`` peers.
+
+        The hub's control plane carries only small coordination frames; the
+        per-worker train specs (model factory, config, columnar slice) ride
+        the broadcast plane, and gradients/parameters flow worker <-> TCP
+        parameter server directly.  Shard paths must be reachable from the
+        joining hosts (shared filesystem), exactly like the spill dir of
+        the shared-dir shuffle transport."""
+        from repro.transport.worker import TrainSpec
+
+        ps_host, ps_port = self.group.tcp_endpoint
+        columnar, spill_dir = self._ensure_columnar(source)
+        shards = [columnar.slice(idx) for idx in self._partition_indices(len(columnar))]
+        # Joining workers resolve shard paths from *their* working
+        # directory — absolutize so relative DFS roots survive the trip.
+        shards = [
+            replace(s, shard_paths=tuple(os.path.abspath(p) for p in s.shard_paths))
+            for s in shards
+        ]
+        hub = self._hub
+        try:
+            for w in range(self.dist.num_workers):
+                hub.publish_spec(
+                    w,
+                    TrainSpec(
+                        worker_id=w,
+                        model_factory=self._factory,
+                        config=self._worker_config(w),
+                        shard=shards[w],
+                        ps_host=ps_host,
+                        ps_port=ps_port,
+                    ),
+                )
+            self.group.begin_epoch()
+            hub.start_training(self.dist.num_workers)
+            for epoch in range(self.config.epochs):
+                start = time.perf_counter()
+                losses = hub.collect_epoch(epoch)
+                entry = {
+                    "epoch": epoch,
+                    "loss": float(np.mean([losses[w] for w in sorted(losses)])),
+                    "seconds": time.perf_counter() - start,
+                    "workers": self.dist.num_workers,
+                }
+                if val is not None:
+                    entry["val_metric"] = self.evaluate(val, metric)
+                self.history.append(entry)
+                if epoch + 1 < self.config.epochs:
+                    self.group.begin_epoch()
+                    hub.release_epoch()
+            self.worker_stats = hub.collect_done()
+        finally:
+            hub.close()
+            self._hub = None
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
+        return self.history
+
+    @property
+    def hub_endpoint(self) -> tuple[str, int] | None:
+        """``(host, port)`` remote workers join (``repro worker --join``),
+        or ``None`` when no hub is open."""
+        return self._hub.endpoint if self._hub is not None else None
+
     # ------------------------------------------------------------- evaluate
     def evaluate(self, samples, metric: str | None = None) -> float:
         """Evaluate the *server* parameters (the deployed model)."""
@@ -417,7 +531,11 @@ class DistributedTrainer:
 
     # -------------------------------------------------------------- teardown
     def close(self) -> None:
-        """Release the transport (shared-memory slabs, server thread)."""
+        """Release the transport (shared-memory slabs, server thread) and
+        any still-open worker hub."""
+        if self._hub is not None:
+            self._hub.close()
+            self._hub = None
         self.group.close()
 
     def __enter__(self) -> "DistributedTrainer":

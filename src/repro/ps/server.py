@@ -51,7 +51,7 @@ from repro.nn.optim import AdamState, adam_update, sgd_update
 __all__ = ["ParameterServerGroup", "PSClient", "mean_gradients"]
 
 _MODES = ("async", "bsp", "ssp")
-_TRANSPORTS = ("local", "shm")
+_TRANSPORTS = ("local", "shm", "tcp")
 
 
 def mean_gradients(
@@ -136,6 +136,8 @@ class ParameterServerGroup:
         mode: str = "async",
         staleness: int = 2,
         transport: str = "local",
+        tcp_host: str = "127.0.0.1",
+        tcp_port: int = 0,
     ):
         if num_servers < 1 or num_workers < 1:
             raise ValueError("need at least one server and one worker")
@@ -154,6 +156,9 @@ class ParameterServerGroup:
         self._placement: dict[str, int] = {}
         self._initialized = False
         self._shm = None  # ShmTransport when transport == "shm"
+        self._tcp = None  # TcpPSServer when transport == "tcp"
+        self.tcp_host = tcp_host
+        self.tcp_port = tcp_port
 
         # BSP machinery: gradients buffered per worker per step; the *last*
         # required contributor applies the worker-id-ordered average once
@@ -194,6 +199,14 @@ class ParameterServerGroup:
         else:
             for name, value in state.items():
                 self.shards[self.shard_of(name)].init_param(name, value)
+            if self.transport == "tcp":
+                # The socket front-end wraps the *local* consistency
+                # machinery: one handler thread per worker connection plays
+                # the role of a local worker thread, so BSP barriers and
+                # the worker-id-ordered average carry over bit-identically.
+                from repro.ps.tcp import TcpPSServer
+
+                self._tcp = TcpPSServer(self, state, self.tcp_host, self.tcp_port)
         self._initialized = True
 
     def _require_init(self) -> None:
@@ -309,7 +322,15 @@ class ParameterServerGroup:
     def client(self, worker_id: int):
         if self._shm is not None:
             return self._shm.client(worker_id)
+        if self._tcp is not None:
+            return self._tcp.client(worker_id)
         return PSClient(self, worker_id)
+
+    @property
+    def tcp_endpoint(self) -> tuple[str, int] | None:
+        """``(host, port)`` the TCP transport listens on (``None`` otherwise)
+        — what remote workers joined via ``repro worker --join`` dial."""
+        return self._tcp.endpoint if self._tcp is not None else None
 
     # -------------------------------------------------------------- teardown
     def close(self) -> None:
@@ -318,6 +339,9 @@ class ParameterServerGroup:
         if self._shm is not None:
             self._shm.close()
             self._shm = None
+        if self._tcp is not None:
+            self._tcp.close()
+            self._tcp = None
 
     def __enter__(self) -> "ParameterServerGroup":
         return self

@@ -1,0 +1,291 @@
+"""TCP parameter-server transport: remote workers pull versioned slabs and
+push gradient deltas over the wire.
+
+The socket sibling of the seqlock shared-memory transport
+(:mod:`repro.ps.shm`) speaking the same version-keyed protocol:
+
+* ``pull`` carries the client's last-seen version; the server answers
+  ``fresh`` (nothing changed — the pull costs no parameter bytes, exactly
+  the shm cache-hit) or ``slab`` with the current version and the whole
+  model flattened through the shared :class:`~repro.nn.module.StateLayout`
+  contract (sorted names, C-order float32 — the same cast the shm slab
+  applies, which is what keeps trajectories bit-identical across
+  transports).
+* ``push`` carries the gradient slab plus the names *absent* this step
+  (the trainer omits ``grad is None`` entries); the server reconstructs
+  the dict and feeds it through ``ParameterServerGroup._push_local`` — the
+  very mode dispatcher the local transport uses.  One handler thread per
+  worker connection means a BSP push blocks its handler on the barrier
+  condition exactly like a local worker thread blocks, so the averaged
+  step (worker-id-ordered, :func:`~repro.ps.server.mean_gradients`) and
+  therefore the whole loss trajectory is bit-identical to the local
+  transport at a fixed seed (tested).
+
+Frames ride the CRC-trailed wire grammar of :mod:`repro.transport.wire`;
+a reset connection or timeout surfaces as ``ConnectionError`` /
+``TimeoutError``, both in the MapReduce retry policy's retryable set.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.nn.module import StateLayout
+from repro.proto.framing import FrameCorruptionError, decode_value, encode_value
+from repro.transport.wire import DEFAULT_TIMEOUT_S, Conn, connect
+
+__all__ = ["TcpPSClient", "TcpPSServer"]
+
+
+def _encode_layout(layout: StateLayout) -> bytes:
+    return encode_value(
+        (
+            tuple(layout.names),
+            tuple(tuple(s) for s in layout.shapes),
+            tuple(layout.offsets),
+            layout.total_size,
+        )
+    )
+
+
+def _decode_layout(payload: bytes) -> StateLayout:
+    (names, shapes, offsets, total), _ = decode_value(payload)
+    return StateLayout(
+        tuple(names), tuple(tuple(s) for s in shapes), tuple(offsets), int(total)
+    )
+
+
+class TcpPSServer:
+    """Socket front-end over a :class:`~repro.ps.server.ParameterServerGroup`.
+
+    Owns no consistency logic: every push lands in the group's local mode
+    dispatcher, every pull reads through the group's own read path, so
+    async/bsp/ssp semantics — and their determinism guarantees — are
+    inherited, not reimplemented."""
+
+    def __init__(self, group, state: dict[str, np.ndarray], host: str = "127.0.0.1", port: int = 0):
+        import socket
+
+        self.group = group
+        self.layout = StateLayout.from_state(state)
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.server_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="ps-tcp", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def ctx(self):
+        """The start-method process workers agree on — same helper the shm
+        transport uses, so ``DistributedTrainer`` treats both handles
+        alike."""
+        from repro.ps.shm import mp_context
+
+        return mp_context()
+
+    def client(self, worker_id: int) -> "TcpPSClient":
+        return TcpPSClient(self.host, self.port, worker_id)
+
+    def mark_dead(self, worker_id: int) -> None:
+        """Excuse a dead worker from every barrier.  The group's local
+        consistency machinery already knows how (``finish_worker``); its
+        handler thread simply dies with the connection."""
+        self.group.finish_worker(worker_id)
+
+    def close(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------- internals
+    def _accept_loop(self) -> None:
+        import socket
+
+        while not self._stop.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve_conn, args=(sock,), daemon=True
+            ).start()
+
+    def _serve_conn(self, sock) -> None:
+        # No socket timeout on the server side of a worker connection: a
+        # BSP push legitimately blocks on the barrier for as long as the
+        # slowest sibling worker takes.
+        sock.settimeout(None)
+        conn = Conn(sock)
+        worker_id: int | None = None
+        try:
+            while not self._stop.is_set():
+                frame = conn.recv()
+                if frame is None:
+                    return
+                kind, payload = frame
+                if kind == b"hello":
+                    worker_id, _ = decode_value(payload)
+                    conn.send(b"welcome", _encode_layout(self.layout))
+                elif kind == b"pull":
+                    seen, _ = decode_value(payload)
+                    version = self.group.version
+                    if version == seen:
+                        conn.send(b"fresh")
+                    else:
+                        slab = self.layout.flatten(self.group.pull())
+                        conn.send(b"slab", encode_value((version, slab.tobytes())))
+                elif kind == b"push":
+                    if worker_id is None:
+                        conn.send(b"error", b"push before hello")
+                        return
+                    (missing, blob), _ = decode_value(payload)
+                    slab = np.frombuffer(blob, dtype=np.float32)
+                    absent = set(missing)
+                    grads = {
+                        name: view
+                        for name, view in self.layout.unflatten(slab).items()
+                        if name not in absent
+                    }
+                    self.group._push_local(worker_id, grads)
+                    conn.send(b"ack")
+                elif kind == b"finish":
+                    if worker_id is None:
+                        conn.send(b"error", b"finish before hello")
+                        return
+                    self.group.finish_worker(worker_id)
+                    conn.send(b"ack")
+                else:
+                    conn.send(b"error", f"unknown request {kind!r}".encode())
+                    return
+        except (OSError, FrameCorruptionError):
+            pass  # worker died mid-request; DistributedTrainer reaps it
+        except BaseException as exc:  # pragma: no cover - surfaced to caller
+            self.server_error = exc
+        finally:
+            with self._lock:
+                self.bytes_sent += conn.bytes_sent
+                self.bytes_received += conn.bytes_received
+            conn.close()
+
+
+class TcpPSClient:
+    """Picklable per-worker handle dialing a :class:`TcpPSServer`.
+
+    Interface-compatible with :class:`~repro.ps.server.PSClient` /
+    :class:`~repro.ps.shm.ShmPSClient`: ``pull()`` returns ``None`` while
+    the cached version is current, ``push()`` blocks until the server
+    acks (BSP: until the barrier releases).  The connection is opened
+    lazily on first use, so the handle ships to worker processes or
+    remote hosts as plain data."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        worker_id: int,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id
+        self.timeout_s = timeout_s
+        self._seen_version = -1
+        self.pulls = 0
+        self.refreshes = 0
+        self.pull_bytes = 0
+        self._conn: Conn | None = None
+        self._layout: StateLayout | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_conn"] = None
+        state["_layout"] = None
+        return state
+
+    def _ensure(self) -> Conn:
+        if self._conn is None:
+            conn = connect(self.host, self.port, self.timeout_s)
+            kind, payload = conn.request(b"hello", encode_value(self.worker_id))
+            if kind != b"welcome":
+                conn.close()
+                raise ConnectionResetError(f"PS handshake failed: {kind!r}")
+            self._layout = _decode_layout(payload)
+            self._conn = conn
+        return self._conn
+
+    def pull(self) -> dict[str, np.ndarray] | None:
+        conn = self._ensure()
+        self.pulls += 1
+        kind, payload = conn.request(b"pull", encode_value(self._seen_version))
+        if kind == b"fresh":
+            return None
+        if kind != b"slab":
+            raise ConnectionResetError(f"unexpected pull reply: {kind!r}")
+        (version, blob), _ = decode_value(payload)
+        self.pull_bytes += len(blob)
+        self.refreshes += 1
+        self._seen_version = int(version)
+        slab = np.frombuffer(blob, dtype=np.float32).copy()
+        return self._layout.unflatten(slab)
+
+    def push(self, grads: dict[str, np.ndarray]) -> None:
+        conn = self._ensure()
+        layout = self._layout
+        unknown = grads.keys() - set(layout.names)
+        if unknown:
+            raise KeyError(f"gradients for unknown parameters: {sorted(unknown)}")
+        slab = np.zeros(layout.total_size, dtype=np.float32)
+        views = layout.unflatten(slab)
+        missing = []
+        for name, view in views.items():
+            if name in grads:
+                view[...] = np.asarray(grads[name], dtype=np.float32)
+            else:
+                missing.append(name)
+        # A BSP push blocks until every sibling contributes — disable the
+        # per-operation timeout for the ack wait, like the server side.
+        self._conn._sock.settimeout(None)
+        try:
+            kind, payload = conn.request(
+                b"push", encode_value((tuple(missing), slab.tobytes()))
+            )
+        finally:
+            self._conn._sock.settimeout(self.timeout_s)
+        if kind != b"ack":
+            raise ConnectionResetError(f"push not acked: {kind!r} {payload!r}")
+
+    def finish_epoch(self) -> None:
+        conn = self._ensure()
+        kind, _ = conn.request(b"finish")
+        if kind != b"ack":
+            raise ConnectionResetError(f"finish not acked: {kind!r}")
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "pulls": self.pulls,
+            "refreshes": self.refreshes,
+            "pull_bytes": self.pull_bytes,
+        }
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None

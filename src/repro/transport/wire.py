@@ -1,0 +1,86 @@
+"""Socket wire protocol shared by every TCP transport in the repo.
+
+One grammar, three planes (shuffle peering, parameter-server pulls,
+broadcast fetches): a connection is a bidirectional stream of
+length-prefixed frames — exactly the spill-file frame of
+:mod:`repro.proto.framing` lifted onto a socket:
+
+    varint(len(kind)) kind varint(len(payload)) payload crc32
+
+The frame *key* carries the message kind (``b"fetch"``, ``b"pull"``, ...)
+and the payload is message-specific bytes.  The CRC32 trailer covers kind
+and payload and is verified on every read, so a corrupted TCP segment that
+slipped past the kernel checksum surfaces as
+:class:`~repro.proto.framing.FrameCorruptionError` — which the MapReduce
+retry policy already classifies as retryable.
+
+:class:`Conn` wraps a connected socket in buffered binary file objects and
+counts bytes both ways; the counters feed ``RunStats.transport_bytes_*``
+and the PS client's pull accounting.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.proto.framing import read_frame, write_frame
+
+__all__ = ["Conn", "DEFAULT_TIMEOUT_S", "connect"]
+
+DEFAULT_TIMEOUT_S = 30.0
+"""Per-operation socket timeout: a wedged peer surfaces as
+``TimeoutError`` (retryable) instead of blocking a task forever."""
+
+
+class Conn:
+    """A connected socket speaking the frame grammar, with byte counters."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._rf = sock.makefile("rb")
+        self._wf = sock.makefile("wb")
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, kind: bytes, payload: bytes = b"") -> None:
+        self.bytes_sent += write_frame(self._wf, kind, payload)
+        self._wf.flush()
+
+    def recv(self) -> tuple[bytes, bytes] | None:
+        """One ``(kind, payload)`` frame, or ``None`` on clean EOF."""
+        frame = read_frame(self._rf)
+        if frame is not None:
+            # key + payload + ~2 length varints + 4-byte CRC (close enough
+            # for accounting; exact framing bytes are not worth a re-encode)
+            self.bytes_received += len(frame[0]) + len(frame[1]) + 6
+        return frame
+
+    def request(self, kind: bytes, payload: bytes = b"") -> tuple[bytes, bytes]:
+        """Send one frame and wait for one response frame."""
+        self.send(kind, payload)
+        reply = self.recv()
+        if reply is None:
+            raise ConnectionResetError(
+                f"peer closed the connection mid-request ({kind!r})"
+            )
+        return reply
+
+    def close(self) -> None:
+        for closer in (self._wf.close, self._rf.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Conn":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, timeout_s: float = DEFAULT_TIMEOUT_S) -> Conn:
+    """Open a framed connection to ``host:port``."""
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    sock.settimeout(timeout_s)
+    return Conn(sock)

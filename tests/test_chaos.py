@@ -51,6 +51,7 @@ CHAOS_RATE = {
     "slow": 0.3,
     "corrupt-run": 0.5,
     "truncate-run": 0.5,
+    "conn-reset": 0.5,
 }
 CHAOS_SEED = 0
 # Must sit comfortably above the honest duration of the slowest task at this
@@ -117,6 +118,9 @@ def chaos_runtime(backend: str, plan: FaultPlan, spill_dir, kind: str) -> LocalR
         spill_dir=spill_dir,
         shuffle_codec="binary",
         task_timeout_s=HANG_TIMEOUT_S if kind == "hang" else None,
+        # conn-reset only bites a networked fetch: run it over the TCP
+        # shuffle peering so the injected reset hits a real connection.
+        shuffle_transport="tcp" if kind == "conn-reset" else "local",
     )
 
 
@@ -469,6 +473,22 @@ class TestSpillIntegrity:
         assert out == wc_baseline
         assert plan.injected_by_kind["corrupt-run"] == 2
         assert runtime.last_stats.reduce_attempts > WC_JOB.num_reducers
+
+    def test_runtime_retries_reduce_on_conn_reset(self, tmp_path, wc_baseline):
+        """An injected connection reset on the TCP shuffle fetch is
+        retryable (``ConnectionError`` is in the default retryable set);
+        the retry re-fetches the intact runs and output is unchanged."""
+        plan = FaultPlan({"conn-reset": 1.0}, seed=0, max_faults=2)
+        with LocalRuntime(
+            "serial", max_attempts=10, failure_injector=plan,
+            spill_dir=tmp_path, shuffle_codec="binary", shuffle_transport="tcp",
+        ) as runtime:
+            out = runtime.run(WC_JOB, WC_CORPUS)
+        assert out == wc_baseline
+        assert plan.injected_by_kind["conn-reset"] == 2
+        assert runtime.last_stats.reduce_attempts > WC_JOB.num_reducers
+        # the failed fetch plus the retry both crossed the wire
+        assert runtime.last_stats.transport_bytes_received > 0
 
 
 class TestShmAckTimeout:
