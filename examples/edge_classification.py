@@ -1,0 +1,74 @@
+"""Edge classification on a typed (heterogeneous) graph.
+
+A user/item bipartite graph with typed nodes (0=user, 1=item) and typed
+edges (0=view, 1=purchase): the task is predicting, for each user->item
+edge, whether the user's interest matches the item's category.  The typed
+columns ride the same tables, shards and wire formats as the homogeneous
+pipelines (AGLF/AGLC v2 carry them only when present, so untyped shards
+stay byte-identical), and ``task="edge_classification"`` routes every
+stage — GraphFlat target extraction, the trainer's pairwise readout
+``head(h_src * h_dst)``, and GraphInfer's per-edge logits — through the
+task plugin.
+
+Run:  python examples/edge_classification.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import GraphTrainer, TrainerConfig, open_sample_source
+from repro.datasets import typed_like
+from repro.mapreduce import DistFileSystem
+from repro.metrics import accuracy
+from repro.nn.gnn import GraphSAGEModel
+
+
+def main():
+    nodes, edges = typed_like(seed=3, num_users=150, num_items=100,
+                              num_edges=900, feature_dim=8)
+    n_types = int(nodes.types.max()) + 1
+    e_types = int(edges.types.max()) + 1
+    print(f"typed graph: {len(nodes)} nodes ({n_types} types), "
+          f"{len(edges.src)} edges ({e_types} types), "
+          f"{int(edges.labels.sum())} positive edge labels")
+
+    with tempfile.TemporaryDirectory() as root:
+        fs = DistFileSystem(root)
+        flat_config = GraphFlatConfig(
+            hops=2, max_neighbors=10, task="edge_classification",
+            edge_targets=400, seed=0,
+        )
+        result = graph_flat(nodes, edges, config=flat_config, fs=fs,
+                            dataset_name="ec/train")
+        print(f"GraphFlat: {result.num_targets} labeled-edge samples, "
+              f"task={result.task}")
+
+        source = open_sample_source(fs, "ec/train")
+        model = GraphSAGEModel(nodes.feature_dim, 16, 2, num_layers=2, seed=0)
+        trainer = GraphTrainer(
+            model,
+            TrainerConfig(task="edge_classification", epochs=15,
+                          batch_size=32, lr=0.01, seed=0),
+        )
+        history = trainer.fit(source, val_samples=source)
+        print(f"GraphTrainer: loss {history[0]['loss']:.3f} -> "
+              f"{history[-1]['loss']:.3f}, "
+              f"accuracy {history[-1]['val_metric']:.3f}")
+
+        # Classify every edge of the graph with the segmented-model pipeline
+        # and compare against the generator's ground-truth labels.
+        infer = graph_infer(
+            model, nodes, edges, GraphInferConfig(task="edge_classification"),
+        )
+        co = edges.coalesce()
+        logits = np.stack([infer.scores[i] for i in range(len(co.src))])
+        acc = accuracy(logits, co.labels)
+        print(f"GraphInfer: classified {len(co.src)} edges, "
+              f"accuracy vs ground truth {acc:.3f}")
+
+
+if __name__ == "__main__":
+    main()

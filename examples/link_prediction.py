@@ -1,0 +1,80 @@
+"""Link prediction end-to-end through the task plugin layer.
+
+The same three AGL pipelines — GraphFlat, GraphTrainer, GraphInfer — run
+unchanged; only ``task="link_prediction"`` differs.  GraphFlat derives its
+own targets from the edge table: every observed edge is a positive, and a
+seeded sampler draws one non-edge negative per positive (deterministic
+across retries, backends and re-runs).  Each sample's GraphFeature carries
+the ordered ``[src, dst]`` target pair; the trainer scores a pair by the
+dot product of the two endpoint embeddings (the dense head is bypassed),
+and GraphInfer fans final-layer embeddings out to candidate edges and
+applies the same score.
+
+Run:  python examples/link_prediction.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.core.graphflat import GraphFlatConfig, graph_flat
+from repro.core.infer import GraphInferConfig, graph_infer
+from repro.core.trainer import GraphTrainer, TrainerConfig, open_sample_source
+from repro.datasets import labeled_edges_like
+from repro.mapreduce import DistFileSystem
+from repro.metrics import hits_at_k, roc_auc
+from repro.nn.gnn import GraphSAGEModel
+
+
+def main():
+    # Planted communities: observed edges are mostly intra-community, so a
+    # GNN can tell them apart from random (negative) pairs.
+    nodes, edges = labeled_edges_like(seed=7, num_nodes=200, num_edges=900,
+                                      feature_dim=8)
+
+    with tempfile.TemporaryDirectory() as root:
+        fs = DistFileSystem(root)
+        flat_config = GraphFlatConfig(
+            hops=2, max_neighbors=8, task="link_prediction",
+            edge_targets=200, negative_ratio=1, seed=0,
+        )
+        result = graph_flat(nodes, edges, config=flat_config, fs=fs,
+                            dataset_name="lp/train")
+        print(f"GraphFlat: {result.num_targets} edge samples "
+              f"(half positives, half seeded negatives), task={result.task}")
+
+        source = open_sample_source(fs, "lp/train")
+        model = GraphSAGEModel(nodes.feature_dim, 16, 2, num_layers=2, seed=0)
+        trainer = GraphTrainer(
+            model,
+            TrainerConfig(task="link_prediction", epochs=12, batch_size=32,
+                          lr=0.01, seed=0),
+        )
+        history = trainer.fit(source, val_samples=source)
+        print(f"GraphTrainer: loss {history[0]['loss']:.3f} -> "
+              f"{history[-1]['loss']:.3f}, AUC {history[-1]['val_metric']:.3f}, "
+              f"hits@20 {trainer.evaluate(source, metric='hits@20'):.3f}")
+
+        # Score fresh candidate pairs with the segmented-model pipeline: the
+        # graph's own edges plus the same number of random non-edges.
+        rng = np.random.default_rng(5)
+        co = edges.coalesce()
+        neg = rng.integers(0, len(nodes), size=(len(co.src), 2)).astype(np.int64)
+        neg = neg[neg[:, 0] != neg[:, 1]]
+        candidates = np.concatenate(
+            [np.stack([co.src, co.dst], axis=1), neg]
+        )
+        infer = graph_infer(
+            model, nodes, edges,
+            GraphInferConfig(task="link_prediction"),
+            candidates=candidates,
+        )
+        scores = np.array([infer.scores[i][0] for i in range(len(candidates))])
+        labels = np.concatenate([np.ones(len(co.src)), np.zeros(len(neg))])
+        print(f"GraphInfer: scored {infer.num_nodes} candidate edges, "
+              f"AUC vs random pairs {roc_auc(scores, labels):.3f}, "
+              f"hits@50 {hits_at_k(scores, labels, 50):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ from repro.mapreduce import BACKEND_REGISTRY, PARTITIONERS, DistFileSystem
 from repro.mapreduce.fs import DATASET_LAYOUTS
 from repro.nn.gnn import MODEL_REGISTRY, build_model
 from repro.proto.codec import decode_prediction
+from repro.tasks import EDGE_TASKS, TASK_REGISTRY
 from repro.transport import SHUFFLE_TRANSPORTS
 
 __all__ = ["main", "save_model", "load_model"]
@@ -301,6 +302,9 @@ def _cmd_graphflat(args) -> int:
         hub_threshold=args.hub_threshold,
         num_shards=args.shards,
         seed=args.seed,
+        task=args.task,
+        edge_targets=args.edge_targets,
+        negative_ratio=args.negative_ratio,
         backend=_backend_name(args),
         num_workers=args.num_workers,
         spill_dir=args.spill_dir,
@@ -317,9 +321,11 @@ def _cmd_graphflat(args) -> int:
     fs = DistFileSystem(args.dfs)
     # The config owns the runtime (graph_flat builds and closes it).
     result = graph_flat(nodes, edges, targets, config, fs=fs, dataset_name=args.output)
+    unit = "edge samples" if args.task in EDGE_TASKS else "GraphFeatures"
     print(
-        f"GraphFlat: wrote {result.num_targets} GraphFeatures to "
+        f"GraphFlat: wrote {result.num_targets} {unit} to "
         f"{args.dfs}/{args.output} ({args.dataset_layout} shards, "
+        f"task {result.task}, "
         f"{len(result.hub_nodes)} hub nodes re-indexed, "
         f"mean neighborhood {result.neighborhood_nodes.mean():.1f} nodes)"
     )
@@ -341,14 +347,38 @@ def _cmd_graphtrainer(args) -> int:
     if source.label_kind == "none":
         print("training data is unlabeled", file=sys.stderr)
         return 1
-    if source.label_kind == "int":
+    # The dataset records its task kind (edge-level tasks only; node
+    # classification and legacy datasets record nothing), so `--task auto`
+    # trains link-prediction output as link prediction without being told.
+    recorded = fs.task(args.input)
+    task = args.task
+    if task == "auto" and recorded in EDGE_TASKS:
+        task = recorded
+    if recorded in EDGE_TASKS and task != recorded:
+        print(
+            f"dataset {args.input!r} holds {recorded} samples (two targets "
+            f"per record); --task {task} cannot train on them",
+            file=sys.stderr,
+        )
+        return 1
+    if task in EDGE_TASKS:
+        if task == "edge_classification":
+            if source.label_kind != "int":
+                print("edge classification needs int edge labels", file=sys.stderr)
+                return 1
+            num_classes = source.max_int_label() + 1
+        else:
+            # Link prediction scores pairs by embedding dot product — the
+            # dense head is bypassed, so its width is nominal.
+            num_classes = 2
+    elif source.label_kind == "int":
         num_classes = source.max_int_label() + 1
-        task = "binary" if num_classes == 2 and args.task == "auto" else "multiclass"
+        if task == "auto":
+            task = "binary" if num_classes == 2 else "multiclass"
     else:
         num_classes = source.label_dim
-        task = "multilabel"
-    if args.task != "auto":
-        task = args.task
+        if task == "auto":
+            task = "multilabel"
 
     kwargs = dict(
         in_dim=probe.feature_dim, hidden_dim=args.hidden,
@@ -436,6 +466,10 @@ def _cmd_describe(args) -> int:
     records = list(itertools.islice(fs.read_dataset(args.dataset), args.sample))
     print(f"dataset:  {args.dataset}")
     print(f"layout:   {fs.layout(args.dataset)}")
+    # Only non-default tasks are recorded, so both legacy datasets and
+    # node-classification output render as the default with a marker.
+    recorded_task = fs.task(args.dataset)
+    print(f"task:     {recorded_task or 'node_classification (default/legacy)'}")
     print(f"shards:   {fs.num_shards(args.dataset)}")
     print(f"records:  {fs.count_records(args.dataset)}")
     print(f"bytes:    {fs.size_bytes(args.dataset)}")
@@ -529,16 +563,22 @@ def _cmd_graphinfer(args) -> int:
         max_attempts=args.max_attempts,
         task_timeout_s=args.task_timeout_s,
         speculation_factor=args.speculation_factor,
+        task=args.task,
     )
     targets = None
     if args.targets:
         targets = np.loadtxt(args.targets, dtype=np.int64, ndmin=1)
+    candidates = None
+    if args.candidates:
+        candidates = np.loadtxt(args.candidates, dtype=np.int64, ndmin=2)
     fs = DistFileSystem(args.dfs)
     result = graph_infer(
-        model, nodes, edges, config, fs=fs, dataset_name=args.output, targets=targets
+        model, nodes, edges, config, fs=fs, dataset_name=args.output,
+        targets=targets, candidates=candidates,
     )
+    unit = "candidate edges" if args.task in EDGE_TASKS else "nodes"
     print(
-        f"GraphInfer: scored {result.num_nodes} nodes "
+        f"GraphInfer: scored {result.num_nodes} {unit} "
         f"({result.embedding_computations} embedding computations, "
         f"{result.slice_transport} slice transport) -> "
         f"{args.dfs}/{args.output}"
@@ -565,6 +605,21 @@ def build_parser() -> argparse.ArgumentParser:
     flat.add_argument("--max-neighbors", type=int, default=32)
     flat.add_argument("--hub-threshold", type=int, default=1000)
     flat.add_argument("--targets", help="file with one target node id per line")
+    flat.add_argument(
+        "--task", choices=sorted(TASK_REGISTRY), default="node_classification",
+        help="what a sample targets: a labeled node (default), or a target "
+        "edge (link_prediction draws seeded negatives; edge_classification "
+        "uses label= columns of the edge table)",
+    )
+    flat.add_argument(
+        "--edge-targets", type=int, default=None, metavar="N",
+        help="edge tasks: cap the number of positive target edges "
+        "(deterministic seeded subsample); default keeps all of them",
+    )
+    flat.add_argument(
+        "--negative-ratio", type=int, default=1, metavar="R",
+        help="link prediction: negative edges drawn per positive edge",
+    )
     flat.add_argument("--output", default="graphflat/output")
     flat.add_argument("--shards", type=int, default=4)
     flat.add_argument(
@@ -599,7 +654,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--batch-size", type=int, default=32)
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument(
-        "--task", choices=["auto", "multiclass", "multilabel", "binary"], default="auto"
+        "--task",
+        choices=["auto", "multiclass", "multilabel", "binary", *EDGE_TASKS],
+        default="auto",
+        help="training objective; 'auto' reads the task the dataset was "
+        "flattened with (edge-level tasks are recorded in its metadata) "
+        "and falls back to the label shape for node-level data",
     )
     train.add_argument(
         "--prefetch-workers", type=int, default=1,
@@ -639,6 +699,17 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--shards", type=int, default=4)
     infer.add_argument("--targets",
                        help="file of node ids: score only these (pruned pipeline)")
+    infer.add_argument(
+        "--task", choices=sorted(TASK_REGISTRY), default="node_classification",
+        help="node_classification scores every node; edge-level tasks score "
+        "candidate edges (--candidates, defaulting to the graph's edges)",
+    )
+    infer.add_argument(
+        "--candidates",
+        help="edge tasks: file of candidate edges to score, one "
+        "'src<TAB>dst' (or 'src dst') pair per line; default scores the "
+        "graph's own edges",
+    )
     infer.add_argument(
         "--dataset-layout", choices=DATASET_LAYOUTS, default="columnar",
         help="prediction shard layout: stacked columnar scores (default) or "

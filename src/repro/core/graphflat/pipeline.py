@@ -36,7 +36,7 @@ import numpy as np
 
 from repro.core.graphflat.records import InEdgeInfo, OutEdgeInfo, SubgraphInfo
 from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
-from repro.graph.subgraph import GraphFeature
+from repro.graph.subgraph import GraphFeature, merge_graph_features
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.graph.validate import validate_tables
 from repro.mapreduce.fs import DATASET_LAYOUTS, DistFileSystem
@@ -46,12 +46,14 @@ from repro.mapreduce.runtime import LocalRuntime, RunStats
 from repro.mapreduce.spill import DEFAULT_RUN_BYTES, DEFAULT_RUN_RECORDS
 from repro.proto.codec import encode_sample
 from repro.proto.columnar import write_sample_shard
+from repro.tasks import make_task
 
 __all__ = [
     "DATASET_SINKS",
     "GraphFlatConfig",
     "GraphFlatResult",
     "MergeReducer",
+    "PairReducer",
     "PartialReducer",
     "PrepareReducer",
     "SampleShardSink",
@@ -70,6 +72,17 @@ class GraphFlatConfig:
     hops: int = 2
     sampling: str = "uniform"
     max_neighbors: int = 32
+    task: str = "node_classification"
+    """Task plugin (``repro.tasks``) the samples are built for.  Node-level
+    tasks keep the classic per-node flow byte-for-byte; edge-level tasks
+    (``link_prediction`` / ``edge_classification``) derive a target-edge
+    table, flatten *both* endpoints' k-hop neighborhoods, and join them in
+    one extra pairing round keyed by edge index."""
+    edge_targets: int | None = None
+    """Edge-level tasks: cap on the number of positive target edges
+    (seeded downsample); ``None`` keeps every eligible edge."""
+    negative_ratio: int = 1
+    """Link prediction: sampled negative edges per positive edge."""
     hub_threshold: int = 1_000
     reindex_fanout: int = 8
     num_reducers: int = 4
@@ -144,6 +157,11 @@ class GraphFlatConfig:
             raise ValueError("hops must be >= 1")
         if self.reindex_fanout < 2:
             raise ValueError("reindex_fanout must be >= 2")
+        make_task(self.task)  # unknown task names fail here, not mid-pipeline
+        if self.edge_targets is not None and self.edge_targets < 1:
+            raise ValueError("edge_targets must be >= 1")
+        if self.negative_ratio < 1:
+            raise ValueError("negative_ratio must be >= 1")
         if self.dataset_layout not in DATASET_LAYOUTS:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
         if self.dataset_sink not in DATASET_SINKS:
@@ -184,6 +202,7 @@ class GraphFlatResult:
 
     num_targets: int
     hops: int
+    task: str = "node_classification"
     dataset: str | None = None
     samples: list[bytes] | None = None
     hub_nodes: list[int] = field(default_factory=list)
@@ -335,12 +354,39 @@ def _graph_flat(
     edges = edges.coalesce()  # one A_{v,u} entry per node pair (see EdgeTable)
 
     sampler = make_sampler(config.sampling, config.max_neighbors, config.seed)
-    target_set = None if targets is None else {int(t) for t in np.asarray(targets)}
+    task_obj = make_task(config.task)
+    # Meta records the task only when it deviates from the classic default,
+    # so node-classification output (shards *and* _META.json) stays
+    # byte-identical to the pre-task-layer pipeline.
+    meta_task = None if config.task == "node_classification" else config.task
+    edge_fanout = None
+    if task_obj.edge_level:
+        if targets is not None:
+            raise ValueError(
+                f"task {config.task!r} derives its targets from the edge "
+                "table; explicit node targets only apply to node-level tasks"
+            )
+        # Parent-side + seeded: the target-edge table (including link
+        # prediction's negative draws) is fixed before any MapReduce round
+        # runs, so retries/speculation/backend choice cannot change it.
+        edge_table = task_obj.build_edge_targets(
+            nodes,
+            edges,
+            seed=config.seed,
+            max_targets=config.edge_targets,
+            negative_ratio=config.negative_ratio,
+        )
+        target_set = {int(t) for t in edge_table.endpoint_ids}
+        label_of = _EdgeLabelTable(edge_table.labels)
+        edge_fanout = _EdgeFanout.from_targets(edge_table)
+    else:
+        target_set = None if targets is None else {int(t) for t in np.asarray(targets)}
+        label_of = _LabelTable.from_nodes(nodes)
     if target_set is not None:
         missing = [t for t in sorted(target_set) if t not in nodes]
         if missing:
             raise KeyError(f"{len(missing)} target ids not in node table (e.g. {missing[:5]})")
-    label_of = _LabelTable.from_nodes(nodes)
+    type_table = _TypeTable.from_tables(nodes, edges)
 
     edge_rows = [
         (int(s), (int(s), int(d), float(w), f))
@@ -398,7 +444,20 @@ def _graph_flat(
                         config.reindex_fanout,
                         reindex_active,
                         None if target_set is None else frozenset(target_set),
+                        edge_fanout,
                     ),
+                    num_reducers=config.num_reducers,
+                )
+            )
+        if edge_fanout is not None:
+            # Pairing round: join the two endpoints' flattened neighborhoods
+            # per target edge.  Keyed by edge index and hash-partitioned —
+            # being the new final round, it inherits the determinism
+            # contract (output order is partition-major over edge indices).
+            jobs.append(
+                MapReduceJob(
+                    "graphflat-pair",
+                    PairReducer(),
                     num_reducers=config.num_reducers,
                 )
             )
@@ -430,16 +489,21 @@ def _graph_flat(
             # partition, so the global record stream matches the parent-side
             # write exactly.
             directory = fs.prepare_dataset(dataset_name)
-            sink = SampleShardSink(str(directory), _LabelTable.from_nodes(nodes))
+            sink = SampleShardSink(str(directory), label_of, type_table, meta_task)
             summaries = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
             round_stats = degree_stats + list(runtime.round_stats)
             counts = [count for count, _, _ in summaries]
             fs.finalize_dataset(
-                dataset_name, layout="columnar", kind="samples", record_counts=counts
+                dataset_name,
+                layout="columnar",
+                kind="samples",
+                record_counts=counts,
+                task=meta_task,
             )
             return GraphFlatResult(
                 num_targets=sum(counts),
                 hops=config.hops,
+                task=config.task,
                 dataset=dataset_name,
                 hub_nodes=sorted(hubs),
                 round_stats=round_stats,
@@ -461,20 +525,25 @@ def _graph_flat(
     round_stats: list[RunStats] = degree_stats + list(runtime.round_stats)
 
     # ---- Storing, parent-side -----------------------------------------------
+    # ``sample_id`` is the node id (node tasks) or edge index (edge tasks);
+    # edge tasks' final pairing round already yields GraphFeatures.
     triples: list[tuple] = []
     n_nodes: list[int] = []
     n_edges: list[int] = []
-    for node_id, (tag, info) in data:
+    for sample_id, (tag, info) in data:
         if tag != "final":  # pragma: no cover - defensive
             raise RuntimeError(f"unexpected record tag {tag!r} after final round")
-        gf = info.to_graph_feature()
+        gf = info if isinstance(info, GraphFeature) else info.to_graph_feature()
+        if type_table is not None:
+            gf = type_table.attach(gf)
         n_nodes.append(gf.num_nodes)
         n_edges.append(gf.num_edges)
-        triples.append((node_id, label_of(node_id), gf))
+        triples.append((sample_id, label_of(sample_id), gf))
 
     result = GraphFlatResult(
         num_targets=len(triples),
         hops=config.hops,
+        task=config.task,
         hub_nodes=sorted(hubs),
         round_stats=round_stats,
         neighborhood_nodes=np.asarray(n_nodes, dtype=np.int64),
@@ -484,13 +553,19 @@ def _graph_flat(
         # Columnar shards take the triples directly — no per-sample
         # re-framing pass between the final reduce and the DFS.
         fs.write_dataset(
-            dataset_name, triples, num_shards=config.num_shards, layout="columnar"
+            dataset_name,
+            triples,
+            num_shards=config.num_shards,
+            layout="columnar",
+            task=meta_task,
         )
         result.dataset = dataset_name
         return result
-    encoded = [encode_sample(node_id, label, gf) for node_id, label, gf in triples]
+    encoded = [encode_sample(sample_id, label, gf) for sample_id, label, gf in triples]
     if fs is not None:
-        fs.write_dataset(dataset_name, encoded, num_shards=config.num_shards)
+        fs.write_dataset(
+            dataset_name, encoded, num_shards=config.num_shards, task=meta_task
+        )
         result.dataset = dataset_name
     else:
         result.samples = encoded
@@ -527,29 +602,133 @@ class _LabelTable:
 
 
 @dataclass(frozen=True)
+class _EdgeLabelTable:
+    """Label lookup for edge-level tasks: the sample id *is* the row index
+    into the target-edge table, so lookup is a direct index."""
+
+    values: np.ndarray
+
+    def __call__(self, edge_index: int) -> int:
+        return int(self.values[int(edge_index)])
+
+
+@dataclass(frozen=True)
+class _EdgeFanout:
+    """Broadcast table for edge-level tasks: node id -> the target edges it
+    terminates, as ``(edge_index, role)`` entries (role 0 = src endpoint,
+    role 1 = dst).  Built parent-side from the seeded target table, shipped
+    inside the final MergeReducer, so every re-execution fans out the exact
+    same records."""
+
+    entries_by_node: dict[int, tuple[tuple[int, int], ...]]
+
+    @classmethod
+    def from_targets(cls, edge_table) -> "_EdgeFanout":
+        return cls.from_pairs(edge_table.src, edge_table.dst)
+
+    @classmethod
+    def from_pairs(cls, src, dst) -> "_EdgeFanout":
+        out: dict[int, list[tuple[int, int]]] = {}
+        for idx in range(len(src)):
+            out.setdefault(int(src[idx]), []).append((idx, 0))
+            out.setdefault(int(dst[idx]), []).append((idx, 1))
+        return cls({node: tuple(pairs) for node, pairs in out.items()})
+
+    def entries(self, node_id: int) -> tuple[tuple[int, int], ...]:
+        return self.entries_by_node.get(int(node_id), ())
+
+
+@dataclass(frozen=True)
+class _TypeTable:
+    """Picklable node/edge type lookup for heterogeneous tables.
+
+    Types ride *outside* the MapReduce rounds: the shuffled SubgraphInfo
+    records stay exactly as they were (byte-identical spills), and types
+    are attached to the flattened GraphFeatures at the storage boundary —
+    the sink (reducer path) or the parent storing loop."""
+
+    node_types: dict[int, int] | None
+    edge_types: dict[tuple[int, int], int] | None
+
+    @classmethod
+    def from_tables(cls, nodes: NodeTable, edges: EdgeTable) -> "_TypeTable | None":
+        if nodes.types is None and edges.types is None:
+            return None
+        node_types = None
+        if nodes.types is not None:
+            node_types = {
+                int(i): int(t) for i, t in zip(nodes.ids.tolist(), nodes.types.tolist())
+            }
+        edge_types = None
+        if edges.types is not None:
+            edge_types = {
+                (int(s), int(d)): int(t)
+                for s, d, t in zip(
+                    edges.src.tolist(), edges.dst.tolist(), edges.types.tolist()
+                )
+            }
+        return cls(node_types, edge_types)
+
+    def attach(self, gf: GraphFeature) -> GraphFeature:
+        node_type = None
+        if self.node_types is not None:
+            node_type = np.asarray(
+                [self.node_types[int(i)] for i in gf.node_ids.tolist()], dtype=np.int64
+            )
+        edge_type = None
+        if self.edge_types is not None:
+            g_src = gf.node_ids[gf.edge_src].tolist()
+            g_dst = gf.node_ids[gf.edge_dst].tolist()
+            edge_type = np.asarray(
+                [self.edge_types[(int(s), int(d))] for s, d in zip(g_src, g_dst)],
+                dtype=np.int64,
+            )
+        return GraphFeature(
+            gf.target_ids,
+            gf.node_ids,
+            gf.x,
+            gf.hops,
+            gf.edge_src,
+            gf.edge_dst,
+            gf.edge_feat,
+            gf.edge_weight,
+            node_type,
+            edge_type,
+        )
+
+
+@dataclass(frozen=True)
 class SampleShardSink:
     """Reducer-owned columnar sink: the final-round reducer streams its
     output pairs straight into one AGLC shard (``part-<task>``), buffering
     one shard's triples — never the whole dataset.  Returns ``(count,
     n_nodes, n_edges)`` per partition; the parent only ever sees these
-    summaries."""
+    summaries.
+
+    Handles both final-round shapes: node flows yield SubgraphInfos to
+    flatten, edge flows yield already-joined GraphFeatures keyed by edge
+    index (``labels`` is the matching lookup either way)."""
 
     directory: str
-    labels: _LabelTable
+    labels: _LabelTable | _EdgeLabelTable
+    types: _TypeTable | None = None
+    task: str | None = None
 
     def store(self, task_index: int, pairs):
         triples: list[tuple] = []
         n_nodes: list[int] = []
         n_edges: list[int] = []
-        for node_id, (tag, info) in pairs:
+        for sample_id, (tag, info) in pairs:
             if tag != "final":  # pragma: no cover - defensive
                 raise RuntimeError(f"unexpected record tag {tag!r} after final round")
-            gf = info.to_graph_feature()
+            gf = info if isinstance(info, GraphFeature) else info.to_graph_feature()
+            if self.types is not None:
+                gf = self.types.attach(gf)
             n_nodes.append(gf.num_nodes)
             n_edges.append(gf.num_edges)
-            triples.append((node_id, self.labels(node_id), gf))
+            triples.append((sample_id, self.labels(sample_id), gf))
         path = Path(self.directory) / f"part-{task_index:05d}"
-        count = write_sample_shard(path, triples)
+        count = write_sample_shard(path, triples, task=self.task)
         return count, n_nodes, n_edges
 
 
@@ -633,6 +812,7 @@ class MergeReducer:
     fanout: int
     reindex_active: bool
     target_set: frozenset[int] | None
+    edge_fanout: _EdgeFanout | None = None
 
     @property
     def final_round(self) -> bool:
@@ -667,7 +847,14 @@ class MergeReducer:
             merged.absorb_neighbor(in_edge.subgraph, in_edge.weight, in_edge.edge_feat)
 
         if self.final_round:
-            if self.target_set is None or node_id in self.target_set:
+            if self.edge_fanout is not None:
+                # Edge-level task: the k-hop neighborhood of this endpoint
+                # fans out to every target edge it terminates, keyed by
+                # edge index for the pairing round.  The merged object is
+                # shared across emissions — the pairing round only reads it.
+                for edge_index, role in self.edge_fanout.entries(node_id):
+                    yield edge_index, ("end", role, merged)
+            elif self.target_set is None or node_id in self.target_set:
                 yield node_id, ("final", merged)
             return
         yield _plain_key(node_id, self.reindex_active), ("self", merged)
@@ -678,3 +865,41 @@ class MergeReducer:
                     out.dst, node_id, self.hubs, self.fanout, self.reindex_active
                 )
                 yield key, ("in", InEdgeInfo(node_id, out.weight, out.edge_feat, merged))
+
+
+@dataclass(frozen=True)
+class PairReducer:
+    """Edge-task pairing round: join the two endpoint neighborhoods of one
+    target edge into a single GraphFeature whose targets are the *ordered*
+    ``[src, dst]`` pair.
+
+    Receives exactly two ``("end", role, SubgraphInfo)`` records per edge
+    index (role 0 = src, role 1 = dst); the merge dedupes overlapping
+    neighborhoods exactly like the trainer's batch merge, then the ordered
+    target pair is re-imposed on the merged arrays (the merge sorts its
+    targets, but edge readout needs to know which endpoint is which)."""
+
+    def __call__(self, edge_index, values):
+        ends = sorted(
+            ((value[1], value[2]) for value in values), key=lambda pair: pair[0]
+        )
+        if [role for role, _ in ends] != [0, 1]:
+            raise RuntimeError(
+                f"target edge {edge_index} expected one record per endpoint "
+                f"role, got roles {[role for role, _ in ends]}"
+            )
+        src_info, dst_info = ends[0][1], ends[1][1]
+        merged = merge_graph_features(
+            [src_info.to_graph_feature(), dst_info.to_graph_feature()]
+        )
+        gf = GraphFeature(
+            np.asarray([src_info.root, dst_info.root], dtype=np.int64),
+            merged.node_ids,
+            merged.x,
+            merged.hops,
+            merged.edge_src,
+            merged.edge_dst,
+            merged.edge_feat,
+            merged.edge_weight,
+        )
+        yield edge_index, ("final", gf)

@@ -38,6 +38,7 @@ __all__ = [
     "TopKSampling",
     "SAMPLING_REGISTRY",
     "make_sampler",
+    "sample_negative_edges",
 ]
 
 
@@ -122,3 +123,62 @@ def make_sampler(name: str, max_neighbors: int, seed: int = 0) -> SamplingStrate
     if name not in SAMPLING_REGISTRY:
         raise KeyError(f"unknown sampling strategy {name!r}; known: {sorted(SAMPLING_REGISTRY)}")
     return SAMPLING_REGISTRY[name](max_neighbors, seed)
+
+
+def sample_negative_edges(
+    pos_src: np.ndarray,
+    pos_dst: np.ndarray,
+    candidate_ids: np.ndarray,
+    num_samples: int,
+    seed: int,
+    *,
+    forbid_src: np.ndarray | None = None,
+    forbid_dst: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded corrupt-destination negative sampling for link prediction.
+
+    Cycles through the positive edges, keeping each source and redrawing
+    the destination uniformly from ``candidate_ids`` until the pair is
+    neither a real edge (``forbid_src``/``forbid_dst``, defaulting to the
+    positives themselves), a self-loop, nor an already-drawn negative.
+
+    Runs **parent-side, before any MapReduce round**, from a single
+    ``SeedSequence(seed, salt)`` stream — so like the neighbor-sampling
+    strategies above, the draw is independent of backend, reducer
+    placement, task retries and speculation (the PR 7/8 determinism
+    contract), and a re-run with the same seed reproduces the exact
+    target table the shards were built from.
+    """
+    pos_src = np.asarray(pos_src, dtype=np.int64)
+    pos_dst = np.asarray(pos_dst, dtype=np.int64)
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    if len(pos_src) == 0:
+        raise ValueError("need at least one positive edge to corrupt")
+    if len(candidate_ids) < 2:
+        raise ValueError("need at least two candidate nodes to draw negatives from")
+    if forbid_src is None or forbid_dst is None:
+        forbid_src, forbid_dst = pos_src, pos_dst
+    taken = set(
+        zip(np.asarray(forbid_src).tolist(), np.asarray(forbid_dst).tolist())
+    )
+    rng = np.random.default_rng(np.random.SeedSequence(entropy=(seed, 0x4E454741)))
+    neg_src = np.empty(num_samples, dtype=np.int64)
+    neg_dst = np.empty(num_samples, dtype=np.int64)
+    budget = 200 * max(num_samples, 1) + 1000
+    attempts = 0
+    for k in range(num_samples):
+        s = int(pos_src[k % len(pos_src)])
+        while True:
+            attempts += 1
+            if attempts > budget:
+                raise RuntimeError(
+                    "negative-edge sampling budget exhausted — graph too dense "
+                    "for the requested number of negatives"
+                )
+            d = int(candidate_ids[int(rng.integers(len(candidate_ids)))])
+            if d != s and (s, d) not in taken:
+                break
+        taken.add((s, d))
+        neg_src[k] = s
+        neg_dst[k] = d
+    return neg_src, neg_dst

@@ -22,7 +22,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.graphflat.pipeline import DATASET_SINKS, build_partition_plan
+from repro.core.graphflat.pipeline import (
+    DATASET_SINKS,
+    _EdgeFanout,
+    build_partition_plan,
+)
 from repro.core.graphflat.sampling import SamplingStrategy, make_sampler
 from repro.core.infer.segmentation import ModelSlice, broadcast_slices, segment_model
 from repro.graph.tables import EdgeTable, NodeTable
@@ -43,10 +47,12 @@ from repro.proto.framing import (
     register_record,
 )
 from repro.proto.varint import decode_signed, decode_unsigned, encode_signed, encode_unsigned
+from repro.tasks import make_task
 
 SLICE_TRANSPORTS = ("auto", "shm", "pickle")
 
 __all__ = [
+    "EdgePredictionReducer",
     "EmbeddingReducer",
     "GraphInferConfig",
     "SLICE_TRANSPORTS",
@@ -184,8 +190,15 @@ class GraphInferConfig:
     hosts: str | None = None
     """Cluster roster for the TCP transports (``host:port,...``; first
     entry is the coordinator).  ``None`` binds ephemeral loopback."""
+    task: str = "node_classification"
+    """Inference task (``repro.tasks`` registry).  Edge-level tasks score
+    candidate edges instead of nodes: the final embedding round fans each
+    endpoint embedding out to the edges it terminates, and the prediction
+    round applies the task's score function to the ``(src, dst)``
+    embedding pair — record ids in the output are candidate-edge indices."""
 
     def __post_init__(self):
+        make_task(self.task)  # fail fast on unknown task names
         if self.dataset_layout not in DATASET_LAYOUTS:
             raise ValueError(f"dataset_layout must be one of {DATASET_LAYOUTS}")
         if self.dataset_sink not in DATASET_SINKS:
@@ -308,6 +321,7 @@ def graph_infer(
     fs: DistFileSystem | None = None,
     dataset_name: str = "graphinfer/output",
     targets=None,
+    candidates=None,
 ) -> GraphInferResult:
     """Run segmented-model inference over the whole graph.
 
@@ -322,13 +336,20 @@ def graph_infer(
     a target, so the per-round work shrinks toward the targets.  Scores are
     produced for the targets only and equal the whole-graph run exactly
     (tested).
+
+    With an edge-level ``config.task``, ``candidates`` is the ``(src,
+    dst)`` edge list to score — a ``(m, 2)`` array, defaulting to the
+    graph's own (coalesced) edges — and the result is keyed by candidate
+    index.  The candidate endpoints become the pruning targets, so only
+    embeddings inside their receptive fields are computed.
     """
     config = config or GraphInferConfig()
     owns_runtime = runtime is None
     runtime = runtime or config.make_runtime()
     try:
         return _graph_infer(
-            model, nodes, edges, config, runtime, fs, dataset_name, targets
+            model, nodes, edges, config, runtime, fs, dataset_name, targets,
+            candidates,
         )
     finally:
         if owns_runtime:
@@ -344,6 +365,7 @@ def _graph_infer(
     fs: DistFileSystem | None,
     dataset_name: str,
     targets,
+    candidates,
 ) -> GraphInferResult:
     if config.validate:
         validate_tables(nodes, edges)
@@ -364,7 +386,7 @@ def _graph_infer(
     try:
         return _graph_infer_rounds(
             nodes, edges, config, runtime, fs, dataset_name, targets,
-            slices, transport,
+            candidates, slices, transport,
         )
     finally:
         if broadcast is not None:
@@ -379,11 +401,38 @@ def _graph_infer_rounds(
     fs: DistFileSystem | None,
     dataset_name: str,
     targets,
+    candidates,
     slices: list[ModelSlice],
     transport: str,
 ) -> GraphInferResult:
     gnn_slices, head_slice = slices[:-1], slices[-1]
     sampler = make_sampler(config.sampling, config.max_neighbors, config.seed)
+
+    task_obj = make_task(config.task)
+    meta_task = None if config.task == "node_classification" else config.task
+    edge_fanout = None
+    if task_obj.edge_level:
+        if targets is not None:
+            raise ValueError(
+                f"task {config.task!r} scores candidate edges; pass "
+                "candidates=(src, dst) pairs instead of node targets"
+            )
+        if candidates is None:
+            cand_src = np.asarray(edges.src, dtype=np.int64)
+            cand_dst = np.asarray(edges.dst, dtype=np.int64)
+        else:
+            cand = np.asarray(candidates, dtype=np.int64)
+            if cand.ndim != 2 or cand.shape[1] != 2:
+                raise ValueError("candidates must be an (m, 2) edge array")
+            cand_src, cand_dst = cand[:, 0], cand[:, 1]
+        if np.any(cand_src == cand_dst):
+            raise ValueError("candidate edges must not be self-loops")
+        edge_fanout = _EdgeFanout.from_pairs(cand_src, cand_dst)
+        # Endpoints are the pruning targets: only embeddings inside a
+        # candidate endpoint's receptive field are computed below.
+        targets = np.unique(np.concatenate([cand_src, cand_dst]))
+    elif candidates is not None:
+        raise ValueError("candidates only apply to edge-level tasks")
 
     target_set = None
     distance: dict[int, int] | None = None
@@ -448,6 +497,9 @@ def _graph_infer_rounds(
                 EmbeddingReducer(
                     mslice, sampler, k, total_rounds, hubs, config.reindex_fanout,
                     reindex_active, needed,
+                    # Only the Kth round fans embeddings out to candidate
+                    # edges; earlier rounds never ship the table.
+                    edge_fanout if k == total_rounds else None,
                 ),
                 num_reducers=config.num_reducers,
             )
@@ -455,7 +507,9 @@ def _graph_infer_rounds(
     jobs.append(
         MapReduceJob(
             "graphinfer-predict",
-            PredictionReducer(head_slice),
+            EdgePredictionReducer(head_slice, config.task)
+            if task_obj.edge_level
+            else PredictionReducer(head_slice),
             num_reducers=config.num_reducers,
         )
     )
@@ -496,7 +550,11 @@ def _graph_infer_rounds(
             sink = PredictionShardSink(str(directory))
             counts = runtime.run_rounds(jobs, node_rows + edge_rows, final_sink=sink)
             fs.finalize_dataset(
-                dataset_name, layout="columnar", kind="predictions", record_counts=counts
+                dataset_name,
+                layout="columnar",
+                kind="predictions",
+                record_counts=counts,
+                task=meta_task,
             )
             return GraphInferResult(
                 num_nodes=sum(counts),
@@ -527,6 +585,7 @@ def _graph_infer_rounds(
                 num_shards=config.num_shards,
                 layout="columnar",
                 kind="predictions",
+                task=meta_task,
             )
         else:
             fs.write_dataset(
@@ -534,6 +593,7 @@ def _graph_infer_rounds(
                 (encode_prediction(v, s) for v, s in data),
                 num_shards=config.num_shards,
                 kind="predictions",
+                task=meta_task,
             )
         result.dataset = dataset_name
     else:
@@ -641,6 +701,10 @@ class EmbeddingReducer:
     fanout: int
     reindex_active: bool
     needed: ReceptiveField
+    edge_fanout: _EdgeFanout | None = None
+    """Edge-level tasks only (and only on the Kth round): node id ->
+    ``(candidate_index, role)`` entries, so the final embedding is keyed to
+    the candidate edges it terminates instead of the node itself."""
 
     def __post_init__(self):
         self._layer = None
@@ -696,6 +760,10 @@ class EmbeddingReducer:
         if self.round_index == self.total_rounds:
             # "in the Kth round ... only need to output it rather than all of
             # the three information to the last Reduce phase" (§3.4).
+            if self.edge_fanout is not None:
+                for edge_index, role in self.edge_fanout.entries(node_id):
+                    yield edge_index, ("end", role, h_next)
+                return
             yield node_id, ("self", h_next)
             return
         yield _plain_key(node_id, self.reindex_active), ("self", h_next)
@@ -753,3 +821,53 @@ class PredictionReducer:
                 if self.head.bias is not None:
                     scores = scores + self.head.bias.data
                 yield node_id, scores.astype(np.float32)
+
+
+@dataclass
+class EdgePredictionReducer:
+    """Edge-task prediction round: pair up the two endpoint embeddings a
+    candidate edge received from the Kth embedding round and apply the
+    task's score function (dot product for link prediction, the head over
+    the Hadamard product for edge classification).  The head slice rides
+    along like :class:`PredictionReducer`'s — link prediction simply
+    ignores it."""
+
+    head_slice: ModelSlice
+    task_name: str
+
+    def __post_init__(self):
+        self._head = None
+        self._task = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_head"] = None
+        state["_task"] = None
+        return state
+
+    @property
+    def head(self):
+        if self._head is None:
+            self._head = self.head_slice.materialize()
+        return self._head
+
+    @property
+    def task(self):
+        if self._task is None:
+            self._task = make_task(self.task_name)
+        return self._task
+
+    def __call__(self, edge_index, values):
+        by_role: dict[int, np.ndarray] = {}
+        for value in values:
+            if value[0] == "end":
+                by_role[int(value[1])] = value[2]
+        if sorted(by_role) != [0, 1]:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"candidate edge {edge_index} received roles {sorted(by_role)}; "
+                "expected exactly one src (0) and one dst (1) embedding"
+            )
+        head = self.head
+        bias = None if head.bias is None else head.bias.data
+        scores = self.task.infer_scores(by_role[0], by_role[1], head.weight.data, bias)
+        yield edge_index, np.asarray(scores, dtype=np.float32)

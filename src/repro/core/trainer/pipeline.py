@@ -64,6 +64,7 @@ class BatchPreparer:
     num_layers: int
     pruning: bool = True
     aggregator_factory: object | None = None
+    edge_level: bool = False
 
     def resolve(self, batch) -> list[TrainSample]:
         """Materialise a batch: bytes are decoded, refs are loaded."""
@@ -83,6 +84,7 @@ class BatchPreparer:
             self.num_layers,
             pruning=self.pruning,
             aggregator_factory=self.aggregator_factory,
+            edge_level=self.edge_level,
         )
         return inputs, labels, time.perf_counter() - start
 
@@ -159,6 +161,7 @@ class BatchPipeline:
         workers: int = 1,
         transport: str = "auto",
         slab_bytes: int = 64 << 20,
+        edge_level: bool = False,
     ):
         if prefetch < 1:
             raise ValueError("prefetch must be >= 1")
@@ -185,7 +188,7 @@ class BatchPipeline:
                 "in-process references already"
             )
         self._batches = batches
-        self._prepare = BatchPreparer(num_layers, pruning, aggregator_factory)
+        self._prepare = BatchPreparer(num_layers, pruning, aggregator_factory, edge_level)
         self._enabled = enabled
         self._prefetch = prefetch
         self._backend = backend

@@ -29,15 +29,16 @@ from repro.core.trainer.partition import partitioned_backend_factory
 from repro.core.trainer.pipeline import PREFETCH_TRANSPORTS, BatchPipeline
 from repro.core.trainer.vectorize import TrainSample, decode_samples
 from repro.mapreduce.backends import BACKEND_REGISTRY, make_backend
-from repro.metrics import accuracy, micro_f1, roc_auc
-from repro.nn import Adam, SGD, bce_with_logits_loss, no_grad, softmax_cross_entropy
+from repro.metrics import accuracy, hits_at_k, micro_f1, roc_auc
+from repro.nn import Adam, SGD, bce_with_logits_loss, no_grad, ops, softmax_cross_entropy
 from repro.nn.gnn.base import GNNModel
+from repro.tasks import EDGE_TASKS, make_task
 from repro.utils.rng import new_rng
 from repro.utils.timer import TimerRegistry
 
 __all__ = ["TrainerConfig", "GraphTrainer"]
 
-_TASKS = ("multiclass", "multilabel", "binary")
+_TASKS = ("multiclass", "multilabel", "binary") + EDGE_TASKS
 
 
 @dataclass
@@ -117,6 +118,9 @@ class GraphTrainer:
         self.ps = ps_client
         self.timers = TimerRegistry()
         self._rng = new_rng(config.seed)
+        # Edge-level task plugin (link prediction / edge classification);
+        # None keeps every node-classification code path exactly as it was.
+        self._task_plugin = make_task(config.task) if config.task in EDGE_TASKS else None
         self._aggregator_factory = (
             partitioned_backend_factory(config.num_partitions, config.partition_threads)
             if config.edge_partition
@@ -180,16 +184,31 @@ class GraphTrainer:
             workers=self.config.prefetch_workers,
             transport=self.config.prefetch_transport,
             slab_bytes=self.config.prefetch_slab_bytes,
+            edge_level=self._task_plugin is not None,
         )
+
+    # -------------------------------------------------------------- forward
+    def _forward(self, batch):
+        """Batch logits: the model's target-row head for node-level tasks,
+        the task plugin's pair readout for edge-level ones."""
+        if self._task_plugin is None:
+            return self.model(batch)
+        h = self.model.embed(batch)
+        h_targets = ops.gather_rows(h, batch.target_index)
+        return self._task_plugin.readout(h_targets, batch.pair_index, self.model.head)
 
     # ----------------------------------------------------------------- loss
     def _loss(self, logits, labels):
+        if self._task_plugin is not None:
+            return self._task_plugin.loss(logits, labels)
         if self.config.task == "multilabel":
             return bce_with_logits_loss(logits, labels)
         return softmax_cross_entropy(logits, labels)
 
     def _scores(self, logits: np.ndarray) -> np.ndarray:
         """Per-task score used by the evaluation metric."""
+        if self._task_plugin is not None:
+            return self._task_plugin.scores(logits)
         if self.config.task == "binary":
             return logits[:, 1] - logits[:, 0]
         return logits
@@ -215,7 +234,7 @@ class GraphTrainer:
                     if state is not None:
                         self.model.load_state_dict(state)
                 self.model.zero_grad()
-                logits = self.model(batch)
+                logits = self._forward(batch)
                 loss = self._loss(logits, labels)
                 loss.backward()
                 if self.ps is not None:
@@ -325,23 +344,37 @@ class GraphTrainer:
         batches = self._make_batches(source, shuffle=False)
         with no_grad():
             for batch, _ in self._pipeline(batches, train=False):
-                logits = self.model(batch)
+                logits = self._forward(batch)
                 outs.append(logits.data.copy())
-        # Logit rows follow each batch's merged (sorted, deduped) target ids.
         ids = source.ids()
-        target_ids = np.concatenate(
-            [np.unique(ids[indices]) for _, indices in batches]
-        ).astype(np.int64)
+        if self._task_plugin is not None:
+            # Edge-level logit rows follow batch-sample order (one row per
+            # target edge), so ids pass through unchanged.
+            target_ids = np.concatenate(
+                [ids[indices] for _, indices in batches]
+            ).astype(np.int64)
+        else:
+            # Logit rows follow each batch's merged (sorted, deduped)
+            # target ids.
+            target_ids = np.concatenate(
+                [np.unique(ids[indices]) for _, indices in batches]
+            ).astype(np.int64)
         return target_ids, np.concatenate(outs, axis=0)
 
     def evaluate(self, samples, metric: str | None = None) -> float:
         """Metric over samples: accuracy (multiclass), micro-F1
-        (multilabel) or ROC-AUC (binary) unless overridden."""
+        (multilabel), ROC-AUC (binary / link prediction) or the task
+        plugin's default, unless overridden."""
         source = self._as_source(samples)
         if metric is None:
-            metric = {"multiclass": "accuracy", "multilabel": "micro_f1", "binary": "auc"}[
-                self.config.task
-            ]
+            if self._task_plugin is not None:
+                metric = self._task_plugin.default_metric
+            else:
+                metric = {
+                    "multiclass": "accuracy",
+                    "multilabel": "micro_f1",
+                    "binary": "auc",
+                }[self.config.task]
         label_by_id = source.labels_by_id()
         target_ids, logits = self.predict(source)
         labels = [label_by_id[int(t)] for t in target_ids]
@@ -351,4 +384,7 @@ class GraphTrainer:
             return micro_f1(logits, np.stack(labels))
         if metric == "auc":
             return roc_auc(self._scores(logits), np.asarray(labels, dtype=np.int64))
+        if metric.startswith("hits@"):
+            k = int(metric.split("@", 1)[1])
+            return hits_at_k(self._scores(logits), np.asarray(labels, dtype=np.int64), k)
         raise ValueError(f"unknown metric {metric!r}")

@@ -40,12 +40,19 @@ def vectorize_batch(
     num_layers: int,
     pruning: bool = True,
     aggregator_factory=None,
+    edge_level: bool = False,
 ) -> tuple[BatchInputs, np.ndarray | None]:
     """Merge + vectorize a batch of samples into model inputs.
 
-    Returns ``(batch, labels)`` where ``labels`` aligns with
-    ``batch.target_index`` rows (int vector for single-label tasks, float
-    matrix for multi-label, ``None`` for unlabeled inference batches).
+    Returns ``(batch, labels)``.  Node-level batches (the default) align
+    ``labels`` with ``batch.target_index`` rows (int vector for
+    single-label tasks, float matrix for multi-label, ``None`` for
+    unlabeled inference batches).  With ``edge_level`` each sample is a
+    target *edge* whose GraphFeature carries the ordered ``[src, dst]``
+    target pair: the batch gains a ``(B, 2)`` ``pair_index`` into the
+    merged target rows and ``labels`` follow batch-sample order (edge
+    samples are keyed by edge index, not node id, so two samples may share
+    every endpoint).
 
     With ``pruning`` the per-layer adjacency list implements Equation 3;
     otherwise every layer sees the full ``A_B``.  ``aggregator_factory``
@@ -68,6 +75,26 @@ def vectorize_batch(
         if aggregator_factory is not None:
             base.aggregator = aggregator_factory(base)
         blocks = [base] * num_layers
+
+    if edge_level:
+        for s in samples:
+            if len(s.graph_feature.target_ids) != 2:
+                raise ValueError(
+                    "edge-level samples need exactly two targets (src, dst); "
+                    f"sample {s.target_id} has {len(s.graph_feature.target_ids)}"
+                )
+        pairs = np.stack([s.graph_feature.target_ids for s in samples])
+        # merged.target_ids is sorted-unique, so searchsorted is an exact
+        # lookup into the merged target rows.
+        pair_index = np.searchsorted(merged.target_ids, pairs)
+        batch = BatchInputs(merged.x, merged.target_index, blocks, pair_index)
+        raw = [s.label for s in samples]
+        labels = None
+        if any(label is not None for label in raw):
+            if any(label is None for label in raw):
+                raise ValueError("batch mixes labeled and unlabeled samples")
+            labels = np.asarray([int(label) for label in raw], dtype=np.int64)
+        return batch, labels
 
     batch = BatchInputs(merged.x, merged.target_index, blocks)
 

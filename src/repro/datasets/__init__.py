@@ -12,17 +12,32 @@ more importantly — the *structural phenomena* each experiment depends on:
   small labeled fraction: a scaled-down User-User Graph.  Hubs are what
   GraphFlat's re-indexing/sampling exists for (§3.2.2).
 
+Edge-task and heterogeneous generators (the task-plugin scenarios):
+
+* :func:`labeled_edges_like` — planted communities with per-edge labels,
+  for link prediction and edge classification;
+* :func:`typed_like` — a user/item typed graph with typed edges and a
+  learnable per-edge target.
+
 All generators are seeded and pure — same seed, same dataset.
 """
 
 from repro.datasets.base import GraphDataset
-from repro.datasets.synthetic import cora_like, ppi_like, uug_like
+from repro.datasets.synthetic import (
+    cora_like,
+    labeled_edges_like,
+    ppi_like,
+    typed_like,
+    uug_like,
+)
 from repro.datasets.io import read_edge_table, read_node_table, write_edge_table, write_node_table
 
 __all__ = [
     "GraphDataset",
     "cora_like",
+    "labeled_edges_like",
     "ppi_like",
+    "typed_like",
     "uug_like",
     "read_node_table",
     "write_node_table",

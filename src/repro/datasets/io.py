@@ -5,6 +5,13 @@ table and an edge table" — here, tab-separated files that upstream jobs (or
 the example scripts) produce.  Feature vectors are comma-joined floats so a
 row stays one line; labels may be an int, a comma-joined indicator vector,
 or absent.
+
+Heterogeneous and edge-task extensions ride as trailing ``key=value``
+columns so every pre-extension file parses unchanged:
+
+* node rows may end with ``type=<int>`` (node type for typed graphs);
+* edge rows may end with ``label=<int>`` (edge-classification target) and/or
+  ``type=<int>`` (edge type), in any order after the positional columns.
 """
 
 from __future__ import annotations
@@ -29,27 +36,49 @@ def _parse_vec(text: str) -> np.ndarray:
     return np.array(text.split(","), dtype=np.float32)
 
 
+def _split_kv(parts: list[str], path, line_no: int, allowed: tuple[str, ...]):
+    """Split trailing ``key=value`` columns off a row.
+
+    Returns ``(positional_parts, kv_dict)``; unknown keys raise so typos are
+    reported instead of silently dropped."""
+    kv: dict[str, int] = {}
+    while parts and "=" in parts[-1] and not parts[-1].startswith("-"):
+        key, _, value = parts[-1].partition("=")
+        if key not in allowed:
+            raise ValueError(
+                f"{path}:{line_no}: unknown column {parts[-1]!r} "
+                f"(allowed keys: {allowed})"
+            )
+        if key in kv:
+            raise ValueError(f"{path}:{line_no}: duplicate column {key!r}")
+        kv[key] = int(value)
+        parts = parts[:-1]
+    return parts, kv
+
+
 def write_node_table(path: str | Path, nodes: NodeTable) -> None:
-    """Rows: ``id \\t feature_csv [\\t label]``."""
+    """Rows: ``id \\t feature_csv [\\t label] [\\t type=<int>]``."""
     with open(path, "w", encoding="utf-8") as fh:
-        for node_id, feat, label in nodes.rows():
+        for row, (node_id, feat, label) in enumerate(nodes.rows()):
             parts = [str(node_id), _fmt_vec(feat)]
             if label is not None:
                 if np.ndim(label) == 0:
                     parts.append(str(int(label)))
                 else:
                     parts.append(_fmt_vec(np.asarray(label)))
+            if nodes.types is not None:
+                parts.append(f"type={int(nodes.types[row])}")
             fh.write("\t".join(parts) + "\n")
 
 
 def read_node_table(path: str | Path) -> NodeTable:
-    ids, feats, labels = [], [], []
+    ids, feats, labels, types = [], [], [], []
     with open(path, encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.rstrip("\n")
             if not line:
                 continue
-            parts = line.split("\t")
+            parts, kv = _split_kv(line.split("\t"), path, line_no, ("type",))
             if len(parts) not in (2, 3):
                 raise ValueError(f"{path}:{line_no}: expected 2-3 columns, got {len(parts)}")
             ids.append(int(parts[0]))
@@ -59,30 +88,40 @@ def read_node_table(path: str | Path) -> NodeTable:
                     labels.append(_parse_vec(parts[2]))
                 else:
                     labels.append(int(parts[2]))
+            if "type" in kv:
+                types.append(kv["type"])
     label_arr = np.asarray(labels) if labels else None
     if label_arr is not None and len(label_arr) != len(ids):
         raise ValueError(f"{path}: some rows have labels and some do not")
-    return NodeTable(np.asarray(ids), np.vstack(feats), label_arr)
+    type_arr = np.asarray(types, dtype=np.int64) if types else None
+    if type_arr is not None and len(type_arr) != len(ids):
+        raise ValueError(f"{path}: some rows have node types and some do not")
+    return NodeTable(np.asarray(ids), np.vstack(feats), label_arr, types=type_arr)
 
 
 def write_edge_table(path: str | Path, edges: EdgeTable) -> None:
-    """Rows: ``src \\t dst \\t weight [\\t feature_csv]``."""
+    """Rows: ``src \\t dst \\t weight [\\t feature_csv] [\\t label=<int>]
+    [\\t type=<int>]``."""
     with open(path, "w", encoding="utf-8") as fh:
-        for src, dst, feat, weight in edges.rows():
+        for row, (src, dst, feat, weight) in enumerate(edges.rows()):
             parts = [str(src), str(dst), repr(float(weight))]
             if feat is not None:
                 parts.append(_fmt_vec(feat))
+            if edges.labels is not None:
+                parts.append(f"label={int(edges.labels[row])}")
+            if edges.types is not None:
+                parts.append(f"type={int(edges.types[row])}")
             fh.write("\t".join(parts) + "\n")
 
 
 def read_edge_table(path: str | Path) -> EdgeTable:
-    src, dst, weights, feats = [], [], [], []
+    src, dst, weights, feats, labels, types = [], [], [], [], [], []
     with open(path, encoding="utf-8") as fh:
         for line_no, line in enumerate(fh, 1):
             line = line.rstrip("\n")
             if not line:
                 continue
-            parts = line.split("\t")
+            parts, kv = _split_kv(line.split("\t"), path, line_no, ("label", "type"))
             if len(parts) not in (3, 4):
                 raise ValueError(f"{path}:{line_no}: expected 3-4 columns, got {len(parts)}")
             src.append(int(parts[0]))
@@ -90,11 +129,21 @@ def read_edge_table(path: str | Path) -> EdgeTable:
             weights.append(float(parts[2]))
             if len(parts) == 4:
                 feats.append(_parse_vec(parts[3]))
+            if "label" in kv:
+                labels.append(kv["label"])
+            if "type" in kv:
+                types.append(kv["type"])
     if feats and len(feats) != len(src):
         raise ValueError(f"{path}: some rows have edge features and some do not")
+    if labels and len(labels) != len(src):
+        raise ValueError(f"{path}: some rows have edge labels and some do not")
+    if types and len(types) != len(src):
+        raise ValueError(f"{path}: some rows have edge types and some do not")
     return EdgeTable(
         np.asarray(src),
         np.asarray(dst),
         np.vstack(feats) if feats else None,
         np.asarray(weights, dtype=np.float32),
+        labels=np.asarray(labels, dtype=np.int64) if labels else None,
+        types=np.asarray(types, dtype=np.int64) if types else None,
     )

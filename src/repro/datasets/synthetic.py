@@ -16,7 +16,7 @@ from repro.datasets.base import GraphDataset
 from repro.graph.tables import EdgeTable, NodeTable
 from repro.utils.rng import new_rng
 
-__all__ = ["cora_like", "ppi_like", "uug_like"]
+__all__ = ["cora_like", "labeled_edges_like", "ppi_like", "typed_like", "uug_like"]
 
 
 def _homophilous_edges(
@@ -179,6 +179,88 @@ def ppi_like(
     }
     return GraphDataset(
         "ppi-like", nodes, edges, splits, "multilabel", num_labels, graph_ids=graph_ids
+    )
+
+
+def labeled_edges_like(
+    seed: int = 0,
+    num_nodes: int = 300,
+    num_edges: int = 1200,
+    feature_dim: int = 8,
+    num_communities: int = 3,
+    intra_prob: float = 0.85,
+    feature_scale: float = 2.0,
+) -> tuple[NodeTable, EdgeTable]:
+    """Edge-task stand-in: homophilous communities with per-edge labels.
+
+    Nodes belong to ``num_communities`` planted communities whose membership
+    is encoded (noisily) in the features; an edge's label is 1 when it stays
+    inside a community and 0 when it crosses, so edge classification is
+    learnable from the two endpoint embeddings, and the same structure makes
+    observed edges distinguishable from random negative pairs (link
+    prediction).  Returns ``(nodes, edges)`` — edge-level tasks derive their
+    own targets, so there is no node split.
+    """
+    rng = new_rng(seed)
+    communities = rng.integers(0, num_communities, num_nodes)
+    centers = rng.standard_normal((num_communities, feature_dim)).astype(np.float32)
+    features = (
+        centers[communities] * feature_scale
+        + rng.standard_normal((num_nodes, feature_dim)).astype(np.float32)
+    )
+    src, dst = _homophilous_edges(rng, communities, num_edges, intra_prob)
+    labels = (communities[src] == communities[dst]).astype(np.int64)
+    ids = np.arange(num_nodes, dtype=np.int64)
+    return (
+        NodeTable(ids, features),
+        EdgeTable(src, dst, labels=labels),
+    )
+
+
+def typed_like(
+    seed: int = 0,
+    num_users: int = 150,
+    num_items: int = 100,
+    num_edges: int = 900,
+    feature_dim: int = 8,
+    num_interests: int = 3,
+) -> tuple[NodeTable, EdgeTable]:
+    """Typed (heterogeneous) graph stand-in: users and items.
+
+    Node types: 0 = user, 1 = item.  Each user and item carries a latent
+    interest; edges are user->item interactions whose *type* records the
+    channel (0 = view, 1 = purchase) and whose *label* is 1 when the
+    interest matches (a purchase-propensity-style target).  Matching
+    interactions are mostly purchases, so the edge type is informative too.
+    Returns ``(nodes, edges)``; features encode the interest noisily for
+    both node types.
+    """
+    rng = new_rng(seed)
+    n = num_users + num_items
+    ids = np.arange(n, dtype=np.int64)
+    node_types = np.concatenate(
+        [np.zeros(num_users, dtype=np.int64), np.ones(num_items, dtype=np.int64)]
+    )
+    interest = rng.integers(0, num_interests, n)
+    centers = rng.standard_normal((num_interests, feature_dim)).astype(np.float32)
+    features = centers[interest] * 2.0 + rng.standard_normal((n, feature_dim)).astype(
+        np.float32
+    )
+
+    src = rng.integers(0, num_users, num_edges).astype(np.int64)
+    dst = (num_users + rng.integers(0, num_items, num_edges)).astype(np.int64)
+    pair = np.stack([src, dst], axis=1)
+    _, unique_idx = np.unique(pair, axis=0, return_index=True)
+    unique_idx.sort()
+    src, dst = src[unique_idx], dst[unique_idx]
+
+    match = (interest[src] == interest[dst]).astype(np.int64)
+    # Channel correlates with the match: matching pairs mostly purchase.
+    purchase_prob = np.where(match == 1, 0.7, 0.15)
+    edge_types = (rng.random(len(src)) < purchase_prob).astype(np.int64)
+    return (
+        NodeTable(ids, features, types=node_types),
+        EdgeTable(src, dst, labels=match, types=edge_types),
     )
 
 

@@ -45,6 +45,11 @@ class GraphFeature:
         ``(m, fe) float32`` or ``None`` when the graph has no edge features.
     edge_weight:
         ``(m,) float32`` positive weights (``A_{v,u}``).
+    node_type / edge_type:
+        optional ``(n,)`` / ``(m,)`` int64 type ids for heterogeneous
+        graphs (typed tables); ``None`` on homogeneous graphs — wire and
+        shard encodings of untyped features are byte-identical to the
+        pre-typed format.
     """
 
     target_ids: np.ndarray
@@ -55,6 +60,8 @@ class GraphFeature:
     edge_dst: np.ndarray
     edge_feat: np.ndarray | None = None
     edge_weight: np.ndarray | None = None
+    node_type: np.ndarray | None = None
+    edge_type: np.ndarray | None = None
     _pos: dict[int, int] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -70,6 +77,10 @@ class GraphFeature:
             self.edge_weight = np.asarray(self.edge_weight, dtype=np.float32)
         if self.edge_feat is not None:
             self.edge_feat = np.asarray(self.edge_feat, dtype=np.float32)
+        if self.node_type is not None:
+            self.node_type = np.asarray(self.node_type, dtype=np.int64)
+        if self.edge_type is not None:
+            self.edge_type = np.asarray(self.edge_type, dtype=np.int64)
         self._validate()
         self._pos = {int(i): p for p, i in enumerate(self.node_ids)}
 
@@ -89,6 +100,10 @@ class GraphFeature:
             raise ValueError("edge endpoints must be non-negative")
         if self.edge_feat is not None and self.edge_feat.shape[0] != m:
             raise ValueError("edge_feat must have one row per edge")
+        if self.node_type is not None and self.node_type.shape != (n,):
+            raise ValueError("node_type must have one entry per node")
+        if self.edge_type is not None and self.edge_type.shape != (m,):
+            raise ValueError("edge_type must have one entry per edge")
         target_set = set(int(t) for t in self.target_ids)
         present = set(int(i) for i in self.node_ids)
         if not target_set <= present:
@@ -136,6 +151,8 @@ class GraphFeature:
             self.edge_dst[order],
             None if self.edge_feat is None else self.edge_feat[order],
             self.edge_weight[order],
+            self.node_type,
+            None if self.edge_type is None else self.edge_type[order],
         )
 
     def max_hop(self) -> int:
@@ -204,6 +221,13 @@ def merge_graph_features(features: list[GraphFeature]) -> GraphFeature:
     l_src = np.searchsorted(merged_ids, g_src[keep])
     l_dst = np.searchsorted(merged_ids, g_dst[keep])
 
+    node_type = None
+    if all(f.node_type is not None for f in features):
+        node_type = np.concatenate([f.node_type for f in features])[first_occurrence]
+    edge_type = None
+    if all(f.edge_type is not None for f in features):
+        edge_type = np.concatenate([f.edge_type for f in features])[keep]
+
     targets = np.unique(np.concatenate([f.target_ids for f in features]))
     merged = GraphFeature(
         targets,
@@ -214,5 +238,7 @@ def merge_graph_features(features: list[GraphFeature]) -> GraphFeature:
         l_dst,
         None if g_ef is None else g_ef[keep],
         g_w[keep],
+        node_type,
+        edge_type,
     )
     return merged.sorted_by_destination()

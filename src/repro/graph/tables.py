@@ -45,11 +45,15 @@ class NodeTable:
         optional ``(n,)`` int64 class ids for single-label tasks or
         ``(n, c) float32`` indicator matrix for multi-label tasks (PPI).
         ``-1`` in the int form means "unlabeled".
+    types:
+        optional ``(n,)`` int64 node-type ids for heterogeneous graphs
+        (e.g. user/item); ``None`` on homogeneous graphs.
     """
 
     ids: np.ndarray
     features: np.ndarray
     labels: np.ndarray | None = None
+    types: np.ndarray | None = None
     _pos: dict[int, int] = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
 
     def __post_init__(self):
@@ -65,6 +69,12 @@ class NodeTable:
                 raise ValueError(
                     f"labels have {self.labels.shape[0]} rows, expected {len(self.ids)}"
                 )
+        if self.types is not None:
+            self.types = np.asarray(self.types, dtype=np.int64)
+            if self.types.shape != self.ids.shape:
+                raise ValueError("node types must align with ids")
+            if len(self.types) and self.types.min() < 0:
+                raise ValueError("node type ids must be non-negative")
         self._pos = {int(i): p for p, i in enumerate(self.ids)}
 
     def __len__(self) -> int:
@@ -100,7 +110,11 @@ class NodeTable:
         """New table with only the rows at ``positions`` (keeps id values)."""
         positions = np.asarray(positions, dtype=np.int64)
         labels = None if self.labels is None else self.labels[positions]
-        return NodeTable(self.ids[positions], self.features[positions], labels)
+        types = None if self.types is None else self.types[positions]
+        return NodeTable(self.ids[positions], self.features[positions], labels, types)
+
+    def type_of(self, node_id: int) -> int | None:
+        return None if self.types is None else int(self.types[self._pos[int(node_id)]])
 
 
 @dataclass
@@ -116,6 +130,11 @@ class EdgeTable:
     dst: np.ndarray
     features: np.ndarray | None = None
     weights: np.ndarray | None = None
+    types: np.ndarray | None = None
+    """Optional ``(m,)`` int64 edge-type ids (heterogeneous graphs)."""
+    labels: np.ndarray | None = None
+    """Optional ``(m,)`` int64 per-edge class ids for edge classification;
+    ``-1`` means unlabeled."""
 
     def __post_init__(self):
         self.src = np.asarray(self.src, dtype=np.int64)
@@ -134,6 +153,16 @@ class EdgeTable:
                 raise ValueError("edge weights must align with src/dst")
             if np.any(self.weights <= 0):
                 raise ValueError("edge weights must be positive (A_{v,u} > 0)")
+        if self.types is not None:
+            self.types = np.asarray(self.types, dtype=np.int64)
+            if self.types.shape != self.src.shape:
+                raise ValueError("edge types must align with src/dst")
+            if len(self.types) and self.types.min() < 0:
+                raise ValueError("edge type ids must be non-negative")
+        if self.labels is not None:
+            self.labels = np.asarray(self.labels, dtype=np.int64)
+            if self.labels.shape != self.src.shape:
+                raise ValueError("edge labels must align with src/dst")
 
     def __len__(self) -> int:
         return len(self.src)
@@ -151,7 +180,16 @@ class EdgeTable:
     def select(self, positions) -> "EdgeTable":
         positions = np.asarray(positions, dtype=np.int64)
         feats = None if self.features is None else self.features[positions]
-        return EdgeTable(self.src[positions], self.dst[positions], feats, self.weights[positions])
+        types = None if self.types is None else self.types[positions]
+        labels = None if self.labels is None else self.labels[positions]
+        return EdgeTable(
+            self.src[positions],
+            self.dst[positions],
+            feats,
+            self.weights[positions],
+            types,
+            labels,
+        )
 
     def coalesce(self) -> "EdgeTable":
         """Collapse duplicate ``(src, dst)`` rows into one edge.
@@ -173,7 +211,9 @@ class EdgeTable:
         weights = np.zeros(len(unique_pair), dtype=np.float32)
         np.add.at(weights, inverse, self.weights)
         feats = None if self.features is None else self.features[first_idx]
-        return EdgeTable(unique_pair[:, 0], unique_pair[:, 1], feats, weights)
+        types = None if self.types is None else self.types[first_idx]
+        labels = None if self.labels is None else self.labels[first_idx]
+        return EdgeTable(unique_pair[:, 0], unique_pair[:, 1], feats, weights, types, labels)
 
     @staticmethod
     def symmetrize(table: "EdgeTable") -> "EdgeTable":
@@ -186,9 +226,17 @@ class EdgeTable:
         feats = None
         if table.features is not None:
             feats = np.concatenate([table.features, table.features], axis=0)
+        types = None
+        if table.types is not None:
+            types = np.concatenate([table.types, table.types])
+        labels = None
+        if table.labels is not None:
+            labels = np.concatenate([table.labels, table.labels])
         return EdgeTable(
             np.concatenate([table.src, table.dst]),
             np.concatenate([table.dst, table.src]),
             feats,
             np.concatenate([table.weights, table.weights]),
+            types,
+            labels,
         )

@@ -72,6 +72,7 @@ class DistFileSystem:
         num_shards: int = 1,
         layout: str = "row",
         kind: str = "samples",
+        task: str | None = None,
     ) -> int:
         """Write ``records`` into ``num_shards`` contiguous part files.
 
@@ -109,8 +110,10 @@ class DistFileSystem:
             elif kind == "predictions":
                 counts.append(write_prediction_shard(path, bucket))
             else:
-                counts.append(write_sample_shard(path, bucket))
-        self.finalize_dataset(name, layout=layout, kind=kind, record_counts=counts)
+                counts.append(write_sample_shard(path, bucket, task=task))
+        self.finalize_dataset(
+            name, layout=layout, kind=kind, record_counts=counts, task=task
+        )
         return count
 
     def prepare_dataset(self, name: str) -> Path:
@@ -133,12 +136,16 @@ class DistFileSystem:
         layout: str,
         kind: str,
         record_counts: list[int],
+        task: str | None = None,
     ) -> None:
         """Commit a dataset whose shards were written out-of-band
         (:meth:`prepare_dataset`) by recording its ``_META.json``.
 
         ``kind`` is recorded for every layout (row included) so consumers
-        can dispatch on it instead of sniffing record bytes."""
+        can dispatch on it instead of sniffing record bytes.  ``task``
+        (when known) records which task plugin produced the samples —
+        datasets written before the task layer simply lack the field and
+        resolve through :meth:`task`'s legacy fallback."""
         if layout not in DATASET_LAYOUTS:
             raise ValueError(f"layout must be one of {DATASET_LAYOUTS}, got {layout!r}")
         directory = self._dataset_dir(name)
@@ -148,6 +155,8 @@ class DistFileSystem:
             "record_counts": list(record_counts),
             "total_records": int(sum(record_counts)),
         }
+        if task is not None:
+            meta["task"] = task
         (directory / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
 
     # -------------------------------------------------------------- reading
@@ -235,6 +244,19 @@ class DistFileSystem:
 
     def exists(self, name: str) -> bool:
         return self._dataset_dir(name).is_dir()
+
+    def task(self, name: str) -> str | None:
+        """Recorded task kind of a dataset, or ``None`` when absent.
+
+        Only non-default tasks are recorded (node-classification output
+        stays byte-identical to pre-task-layer shards), so ``None`` means
+        either a legacy dataset or the node-classification default —
+        callers render both as ``node_classification``.
+        """
+        meta = self._meta(name)
+        if meta is None:
+            return None
+        return meta.get("task")
 
     def num_shards(self, name: str) -> int:
         return len(self.shards(name))

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["accuracy", "micro_f1", "roc_auc"]
+__all__ = ["accuracy", "hits_at_k", "micro_f1", "roc_auc"]
 
 
 def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
@@ -41,6 +41,32 @@ def micro_f1(scores: np.ndarray, targets: np.ndarray, threshold: float = 0.0) ->
     fn = np.logical_and(~pred, targets).sum()
     denom = 2 * tp + fp + fn
     return float(2 * tp / denom) if denom else 0.0
+
+
+def hits_at_k(scores: np.ndarray, labels: np.ndarray, k: int) -> float:
+    """Fraction of positives ranked within the top-``k`` scores.
+
+    The link-prediction convention: pool positive and negative ``scores``,
+    take the ``k`` highest, and report the fraction of positives recovered
+    (``|top-k ∩ positives| / n_pos``).  Ties at the cut are broken
+    pessimistically — a positive tied with negatives at the boundary only
+    counts if it strictly beats enough of the pool — by ranking with a
+    stable sort over ``(score, is_negative)`` so negatives win ties.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    labels = np.asarray(labels).ravel()
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must align")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pos = labels == 1
+    n_pos = int(pos.sum())
+    if n_pos == 0:
+        raise ValueError("hits@k needs at least one positive")
+    # Sort descending by score; among ties, negatives first (pessimistic).
+    order = np.lexsort((pos, -scores))
+    top = pos[order[: min(k, len(scores))]]
+    return float(top.sum() / n_pos)
 
 
 def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:

@@ -105,6 +105,10 @@ class BatchInputs:
     x: np.ndarray
     target_index: np.ndarray
     layer_blocks: list[EdgeBlock]
+    pair_index: np.ndarray | None = None
+    """Edge-level tasks: ``(B, 2)`` rows mapping each sample's ``(src,
+    dst)`` endpoints into the batch's merged target rows (i.e. indices into
+    ``gather_rows(h, target_index)``); ``None`` for node-level batches."""
 
     def block_for_layer(self, k: int) -> EdgeBlock:
         if not self.layer_blocks:

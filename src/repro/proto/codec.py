@@ -13,7 +13,13 @@ magic "AGLF" | version | flags | t | n | m | fn | fe
   x           : n*fn float32
   edge_weight : m float32
   edge_feat   : m*fe float32            (only if flags & HAS_EDGE_FEAT)
+  node_type   : n unsigned varints      (v2 only, if flags & HAS_NODE_TYPE)
+  edge_type   : m unsigned varints      (v2 only, if flags & HAS_EDGE_TYPE)
 ```
+
+Versioning: untyped records encode as version 1 — byte-identical to the
+pre-typed format; heterogeneous records (typed nodes/edges) gate their
+extra blocks behind version 2 + flag bits.  The decoder accepts both.
 
 A *sample* is the training triple ``<TargetedNodeId, Label, GraphFeature>``
 of §3.3.1; labels may be absent (inference), an int class id, or a float
@@ -39,7 +45,10 @@ __all__ = [
 
 _MAGIC = b"AGLF"
 _VERSION = 1
+_TYPED_VERSION = 2
 _HAS_EDGE_FEAT = 1 << 0
+_HAS_NODE_TYPE = 1 << 1
+_HAS_EDGE_TYPE = 1 << 2
 
 _LABEL_NONE = 0
 _LABEL_INT = 1
@@ -101,9 +110,14 @@ def _decode_floats(buf: memoryview, offset: int, count: int) -> tuple[np.ndarray
 
 def encode_graph_feature(gf: GraphFeature) -> bytes:
     """Flatten a GraphFeature into its wire form."""
+    typed = gf.node_type is not None or gf.edge_type is not None
     out = bytearray(_MAGIC)
-    out += encode_unsigned(_VERSION)
+    out += encode_unsigned(_TYPED_VERSION if typed else _VERSION)
     flags = _HAS_EDGE_FEAT if gf.edge_feat is not None else 0
+    if gf.node_type is not None:
+        flags |= _HAS_NODE_TYPE
+    if gf.edge_type is not None:
+        flags |= _HAS_EDGE_TYPE
     out += encode_unsigned(flags)
     out += encode_unsigned(len(gf.target_ids))
     out += encode_unsigned(gf.num_nodes)
@@ -120,6 +134,10 @@ def encode_graph_feature(gf: GraphFeature) -> bytes:
     out += np.ascontiguousarray(gf.edge_weight, dtype="<f4").tobytes()
     if gf.edge_feat is not None:
         out += np.ascontiguousarray(gf.edge_feat, dtype="<f4").tobytes()
+    if gf.node_type is not None:
+        out += _encode_unsigned_block(gf.node_type)
+    if gf.edge_type is not None:
+        out += _encode_unsigned_block(gf.edge_type)
     return bytes(out)
 
 
@@ -130,9 +148,11 @@ def decode_graph_feature(data: bytes, offset: int = 0) -> tuple[GraphFeature, in
         raise CodecError("bad magic — not a GraphFeature record")
     offset += 4
     version, offset = decode_unsigned(buf, offset)
-    if version != _VERSION:
+    if version not in (_VERSION, _TYPED_VERSION):
         raise CodecError(f"unsupported GraphFeature version {version}")
     flags, offset = decode_unsigned(buf, offset)
+    if version == _VERSION and flags & (_HAS_NODE_TYPE | _HAS_EDGE_TYPE):
+        raise CodecError("typed flag bits require GraphFeature version 2")
     t, offset = decode_unsigned(buf, offset)
     n, offset = decode_unsigned(buf, offset)
     m, offset = decode_unsigned(buf, offset)
@@ -150,6 +170,11 @@ def decode_graph_feature(data: bytes, offset: int = 0) -> tuple[GraphFeature, in
     if flags & _HAS_EDGE_FEAT:
         ef_flat, offset = _decode_floats(buf, offset, m * fe)
         edge_feat = ef_flat.reshape(m, fe)
+    node_type = edge_type = None
+    if flags & _HAS_NODE_TYPE:
+        node_type, offset = _decode_unsigned_block(buf, offset, n)
+    if flags & _HAS_EDGE_TYPE:
+        edge_type, offset = _decode_unsigned_block(buf, offset, m)
     try:
         gf = GraphFeature(
             target_ids,
@@ -160,6 +185,8 @@ def decode_graph_feature(data: bytes, offset: int = 0) -> tuple[GraphFeature, in
             edge_dst,
             edge_feat,
             weight,
+            node_type,
+            edge_type,
         )
     except ValueError as exc:
         raise CodecError(f"decoded record is inconsistent: {exc}") from exc

@@ -63,6 +63,11 @@ __all__ = [
 
 SHARD_MAGIC = b"AGLC"
 _VERSION = 1
+_TYPED_VERSION = 2
+"""Header version gate for the task-layer extensions: shards carrying an
+edge-level task tag or per-type (heterogeneous) blocks are written as
+version 2; plain node-classification shards stay version 1 — byte-identical
+to the pre-task format (tested).  The reader accepts both."""
 _ALIGN = 64
 _HEAD = struct.Struct("<4sBxII")  # magic, version, pad, header_len, header_crc
 
@@ -83,7 +88,13 @@ def _write_atomic(path: str | Path, data: bytes) -> None:
     os.replace(tmp, final)
 
 
-def _pack(arrays: list[tuple[str, np.ndarray]], kind: str, meta: dict, num_records: int) -> bytes:
+def _pack(
+    arrays: list[tuple[str, np.ndarray]],
+    kind: str,
+    meta: dict,
+    num_records: int,
+    version: int = _VERSION,
+) -> bytes:
     """Assemble header + aligned blocks into one shard byte string."""
     blocks: list[tuple[dict, bytes]] = []
     for name, arr in arrays:
@@ -126,7 +137,7 @@ def _pack(arrays: list[tuple[str, np.ndarray]], kind: str, meta: dict, num_recor
     else:  # pragma: no cover - defensive; 4 passes always suffice
         raise RuntimeError("columnar header failed to stabilise")
 
-    out = bytearray(_HEAD.pack(SHARD_MAGIC, _VERSION, len(raw), zlib.crc32(raw) & 0xFFFFFFFF))
+    out = bytearray(_HEAD.pack(SHARD_MAGIC, version, len(raw), zlib.crc32(raw) & 0xFFFFFFFF))
     out += raw
     for (_, payload), off in zip(blocks, offsets):
         out += b"\x00" * (off - len(out))
@@ -135,13 +146,18 @@ def _pack(arrays: list[tuple[str, np.ndarray]], kind: str, meta: dict, num_recor
 
 
 # ------------------------------------------------------------------ writers
-def write_sample_shard(path: str | Path, samples) -> int:
+def write_sample_shard(path: str | Path, samples, task: str | None = None) -> int:
     """Write GraphFlat training triples as one columnar shard.
 
     ``samples`` is an iterable of either wire-format ``bytes`` records or
     decoded ``(target_id, label, GraphFeature)`` triples — GraphFlat hands
     the triples straight from its final reduce, skipping the per-sample
     re-framing pass entirely.  Returns the record count.
+
+    ``task`` tags the shard with a non-default task name (edge-level
+    tasks key records by target-edge index, not node id).  A task tag or
+    typed (heterogeneous) per-record blocks gate the shard to header
+    version 2; plain node-classification shards stay byte-identical v1.
     """
     triples = [
         decode_sample(s) if isinstance(s, (bytes, bytearray)) else s for s in samples
@@ -199,6 +215,16 @@ def write_sample_shard(path: str | Path, samples) -> int:
         if any(gf.edge_feat is None for gf in gfs):
             raise ValueError("columnar shard mixes edge-featured and bare samples")
         arrays.append(("edge_feat", stack([gf.edge_feat for gf in gfs], np.float32, width=fe)))
+    typed_nodes = bool(gfs) and gfs[0].node_type is not None
+    typed_edges = bool(gfs) and gfs[0].edge_type is not None
+    if typed_nodes:
+        if any(gf.node_type is None for gf in gfs):
+            raise ValueError("columnar shard mixes typed and untyped samples")
+        arrays.append(("node_type", stack([gf.node_type for gf in gfs], np.int64)))
+    if typed_edges:
+        if any(gf.edge_type is None for gf in gfs):
+            raise ValueError("columnar shard mixes typed and untyped samples")
+        arrays.append(("edge_type", stack([gf.edge_type for gf in gfs], np.int64)))
     if labels is not None:
         arrays.insert(1, ("labels", labels))
 
@@ -208,7 +234,23 @@ def write_sample_shard(path: str | Path, samples) -> int:
         "label": label_kind,
         "label_dim": 0 if label_kind != "vector" else int(labels.shape[1]),
     }
-    _write_atomic(path, _pack(arrays, "samples", meta, n))
+    # Extended (v2) header fields only when the extension is actually used —
+    # the default node-classification shard must not change by a byte.
+    extended = typed_nodes or typed_edges or (
+        task is not None and task != "node_classification"
+    )
+    if task is not None and task != "node_classification":
+        meta["task"] = task
+    if typed_nodes:
+        meta["num_node_types"] = int(
+            max(int(gf.node_type.max(initial=-1)) for gf in gfs) + 1
+        )
+    if typed_edges:
+        meta["num_edge_types"] = int(
+            max(int(gf.edge_type.max(initial=-1)) for gf in gfs) + 1
+        )
+    version = _TYPED_VERSION if extended else _VERSION
+    _write_atomic(path, _pack(arrays, "samples", meta, n, version=version))
     return n
 
 
@@ -242,7 +284,7 @@ def _read_header(path: Path) -> tuple[dict, int]:
         magic, version, hlen, hcrc = _HEAD.unpack(head)
         if magic != SHARD_MAGIC:
             raise CodecError(f"{path}: bad magic — not a columnar shard")
-        if version != _VERSION:
+        if version not in (_VERSION, _TYPED_VERSION):
             raise CodecError(f"{path}: unsupported columnar shard version {version}")
         raw = fh.read(hlen)
     if len(raw) != hlen or zlib.crc32(raw) & 0xFFFFFFFF != hcrc:
@@ -311,6 +353,12 @@ class ColumnarShard:
     def label_kind(self) -> str:
         return self.meta.get("label", "none")
 
+    @property
+    def task(self) -> str:
+        """Recorded task tag; pre-task (v1) shards default to the only
+        task that existed when they were written."""
+        return self.meta.get("task", "node_classification")
+
     def _check_kind(self, expected: str) -> None:
         if self.kind != expected:
             raise CodecError(f"{self.path}: shard holds {self.kind!r}, not {expected!r}")
@@ -342,6 +390,8 @@ class ColumnarShard:
             self.array("edge_dst")[el:eh],
             self.array("edge_feat")[el:eh] if fe else None,
             self.array("edge_weight")[el:eh],
+            self.array("node_type")[nl:nh] if "node_type" in self._specs else None,
+            self.array("edge_type")[el:eh] if "edge_type" in self._specs else None,
         )
 
     def sample(self, i: int):

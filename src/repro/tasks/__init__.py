@@ -1,0 +1,26 @@
+"""Task plugins: what the pipelines dispatch through instead of assuming
+node-level targets.  Importing the package registers the built-in tasks."""
+
+from repro.tasks.base import (
+    EDGE_TASKS,
+    EdgeTargets,
+    Task,
+    TASK_REGISTRY,
+    make_task,
+    register_task,
+)
+from repro.tasks.edge_classification import EdgeClassification
+from repro.tasks.link_prediction import LinkPrediction
+from repro.tasks.node_classification import NodeClassification
+
+__all__ = [
+    "EDGE_TASKS",
+    "EdgeClassification",
+    "EdgeTargets",
+    "LinkPrediction",
+    "NodeClassification",
+    "Task",
+    "TASK_REGISTRY",
+    "make_task",
+    "register_task",
+]

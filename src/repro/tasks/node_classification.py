@@ -1,0 +1,30 @@
+"""Node classification — the paper's original workload, as a task plugin.
+
+This task is intentionally hollow: the node-level code paths in GraphFlat,
+GraphTrainer and GraphInfer predate the task layer and are kept verbatim
+(their output is byte-identical to the pre-refactor pipeline — tested), so
+the plugin only has to *identify* the default.  The readout/loss hooks stay
+unimplemented on purpose: the trainer's multiclass/multilabel/binary
+dispatch owns them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tasks.base import Task, register_task
+
+__all__ = ["NodeClassification"]
+
+
+@dataclass(frozen=True)
+class NodeClassification(Task):
+    name = "node_classification"
+    edge_level = False
+
+    @property
+    def default_metric(self) -> str:
+        return "accuracy"
+
+
+register_task(NodeClassification())

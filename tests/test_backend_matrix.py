@@ -157,6 +157,61 @@ class TestShuffleCodecMatrix:
             assert np.array_equal(procs.scores[node_id], scores)
 
 
+class TestTaskBackendMatrix:
+    """The byte-identity bar extended across the task zoo: every task's
+    GraphFlat output is identical over {serial, threads, processes} x
+    {pickle, binary}, so the task plugin layer inherits the full
+    parallelism guarantee rather than re-proving it per task."""
+
+    @pytest.fixture(scope="class")
+    def edge_graph(self):
+        from repro.datasets import labeled_edges_like
+
+        return labeled_edges_like(seed=7, num_nodes=100, num_edges=360, feature_dim=6)
+
+    def task_config(self, task):
+        base = dict(hops=2, max_neighbors=6, num_reducers=4, seed=0, task=task)
+        if task != "node_classification":
+            base["edge_targets"] = 25
+        return GraphFlatConfig(**base)
+
+    @pytest.mark.parametrize(
+        "task", ["node_classification", "link_prediction", "edge_classification"]
+    )
+    @pytest.mark.parametrize("backend,codec", [
+        ("threads", "pickle"), ("threads", "binary"), ("processes", "binary"),
+    ])
+    def test_graphflat_byte_identical_per_task(
+        self, edge_graph, tmp_path, task, backend, codec
+    ):
+        nodes, edges = edge_graph
+        targets = None
+        if task == "node_classification":
+            targets = np.arange(0, 100, 4)
+        baseline = graph_flat(nodes, edges, targets, self.task_config(task))
+        with LocalRuntime(
+            backend=backend, max_workers=2,
+            spill_dir=tmp_path, shuffle_codec=codec,
+        ) as runtime:
+            result = graph_flat(
+                nodes, edges, targets, self.task_config(task), runtime
+            )
+        assert result.samples == baseline.samples
+
+    @pytest.mark.parametrize("task", ["link_prediction", "edge_classification"])
+    def test_graphflat_fault_injection_per_edge_task(self, edge_graph, task):
+        nodes, edges = edge_graph
+        baseline = graph_flat(nodes, edges, config=self.task_config(task))
+        injector = FailureInjector(rate=0.2, seed=13)
+        with LocalRuntime(
+            backend="processes", max_workers=2, max_attempts=10,
+            failure_injector=injector,
+        ) as runtime:
+            faulty = graph_flat(nodes, edges, config=self.task_config(task), runtime=runtime)
+        assert injector.injected > 0
+        assert faulty.samples == baseline.samples
+
+
 class TestGraphInferBackendMatrix:
     def test_processes_identical_scores(self, hub_graph):
         ds = hub_graph

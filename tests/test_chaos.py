@@ -187,6 +187,36 @@ class TestChaosMatrix:
             assert np.array_equal(result.scores[node_id], scores)
 
 
+class TestChaosEdgeTasks:
+    """Edge-level tasks under injected read-path corruption: the target
+    table is drawn parent-side (seeded), so re-executed reduce tasks must
+    rebuild the exact same edge samples."""
+
+    @pytest.fixture(scope="class")
+    def lp_graph(self):
+        from repro.datasets import labeled_edges_like
+
+        return labeled_edges_like(seed=7, num_nodes=100, num_edges=360, feature_dim=6)
+
+    def lp_config(self):
+        return GraphFlatConfig(
+            hops=2, max_neighbors=6, num_reducers=4, seed=0,
+            task="link_prediction", edge_targets=25,
+        )
+
+    @pytest.mark.parametrize("backend", ("threads", "processes"))
+    def test_link_prediction_byte_identical_under_corrupt_run(
+        self, lp_graph, tmp_path, backend
+    ):
+        nodes, edges = lp_graph
+        baseline = graph_flat(nodes, edges, config=self.lp_config())
+        plan = chaos_plan("corrupt-run")
+        with chaos_runtime(backend, plan, tmp_path, "corrupt-run") as runtime:
+            result = graph_flat(nodes, edges, config=self.lp_config(), runtime=runtime)
+        assert plan.injected_by_kind["corrupt-run"] > 0
+        assert result.samples == baseline.samples
+
+
 class TestDeadlines:
     def test_hung_task_under_processes_completes_within_budget(self, wc_baseline):
         """The acceptance regression: a wedged worker is killed at the

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics import accuracy, micro_f1, roc_auc
+from repro.metrics import accuracy, hits_at_k, micro_f1, roc_auc
 
 
 class TestAccuracy:
@@ -88,3 +88,36 @@ class TestRocAuc:
         wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
         expected = wins / (len(pos) * len(neg))
         assert roc_auc(scores, labels) == pytest.approx(expected, abs=1e-9)
+
+
+class TestHitsAtK:
+    def test_hand_case(self):
+        # ranked by score desc: pos, neg, pos, neg -> top-2 holds 1 of 2 pos
+        scores = np.array([0.9, 0.8, 0.7, 0.1])
+        labels = np.array([1, 0, 1, 0])
+        assert hits_at_k(scores, labels, 2) == pytest.approx(1 / 2)
+        assert hits_at_k(scores, labels, 3) == pytest.approx(1.0)
+
+    def test_perfect_ranking(self):
+        scores = np.array([3.0, 2.0, 1.0, 0.0])
+        labels = np.array([1, 1, 0, 0])
+        assert hits_at_k(scores, labels, 2) == 1.0
+
+    def test_ties_resolve_pessimistically(self):
+        # positive and negative share a score: the negative takes the slot
+        scores = np.array([0.5, 0.5])
+        labels = np.array([1, 0])
+        assert hits_at_k(scores, labels, 1) == 0.0
+
+    def test_k_larger_than_pool(self):
+        scores = np.array([0.1, 0.9])
+        labels = np.array([0, 1])
+        assert hits_at_k(scores, labels, 10) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="align"):
+            hits_at_k(np.zeros(3), np.zeros(2), 1)
+        with pytest.raises(ValueError, match="positive"):
+            hits_at_k(np.zeros(3), np.zeros(3), 1)
+        with pytest.raises(ValueError, match="k must be"):
+            hits_at_k(np.array([1.0]), np.array([1]), 0)
